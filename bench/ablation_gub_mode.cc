@@ -1,0 +1,70 @@
+// Ablation: the two readings of GUB (§4.2.1 / Definition 4).
+//
+// The paper defines VPI as an expectation over hypothesized claims
+// (Definition 4) but describes GUB as "selects an action that results in
+// the highest ground truth utility gain". We implement both: kOracle pins
+// the known-true claim directly; kExpectation weights every hypothesized
+// claim by its fusion probability. This ablation compares them.
+#include <iostream>
+
+#include "data/synthetic.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/scale.h"
+#include "fusion/accu.h"
+
+using namespace veritas;
+
+int main() {
+  const ScaleMode mode = GetScaleMode();
+  DenseConfig config;
+  config.num_items = mode == ScaleMode::kSmall ? 200 : 600;
+  config.num_sources = 20;
+  config.density = 0.4;
+  config.accuracy_mean = 0.75;
+  config.copier_fraction = 0.4;
+  config.seed = 91;
+  const SyntheticDataset data = GenerateDense(config);
+
+  AccuFusion model;
+  CurveOptions options;
+  options.report_fractions = {0.02, 0.05, 0.10, 0.20};
+  options.seed = 17;
+
+  PrintBanner(std::cout, "Ablation — GUB modes (oracle vs Definition-4 "
+                         "expectation)");
+  TextTable table({"% validated", "gub (oracle)", "gub (expectation)",
+                   "meu (no truth)"});
+  std::vector<CurveResult> curves;
+  for (const char* strategy : {"gub", "gub_expectation", "meu"}) {
+    auto curve =
+        RunCurvePerfect(data.db, data.truth, model, strategy, options);
+    if (!curve.ok()) {
+      std::cerr << strategy << " failed: " << curve.status() << "\n";
+      return 1;
+    }
+    curves.push_back(std::move(curve).value());
+  }
+  for (std::size_t p = 0; p < options.report_fractions.size(); ++p) {
+    table.AddRow({Num(options.report_fractions[p] * 100.0, 0) + "%",
+                  Pct(curves[0].points[p].distance_reduction_pct),
+                  Pct(curves[1].points[p].distance_reduction_pct),
+                  Pct(curves[2].points[p].distance_reduction_pct)});
+  }
+  table.Print(std::cout);
+  TextTable timing({"strategy", "s/action"});
+  timing.AddRow({"gub (oracle)", Secs(curves[0].mean_select_seconds)});
+  timing.AddRow({"gub (expectation)", Secs(curves[1].mean_select_seconds)});
+  timing.AddRow({"meu", Secs(curves[2].mean_select_seconds)});
+  timing.Print(std::cout);
+  std::cout
+      << "(the oracle mode is the clear upper bound. The literal\n"
+         " Definition-4 expectation degenerates: weighting hypothesized\n"
+         " claims by fusion's own beliefs makes already-certain items look\n"
+         " best — their expected utility change is ~0 while uncertain\n"
+         " items' minority branches look harmful — so it validates items\n"
+         " that change nothing. This is the same quirk that makes the\n"
+         " paper's worked MEU example select the no-op item O4 in Table 6,\n"
+         " and it is why GUB is implemented in oracle mode by default.)\n";
+  return 0;
+}

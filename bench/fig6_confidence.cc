@@ -1,0 +1,60 @@
+// Figure 6: feedback confidence (worker quality) on the Books-like dataset.
+//
+// Every answer pins the true claim with probability c in {1.0, 0.9, 0.8}
+// (the rest spread over the other claims). Paper shape: performance
+// deteriorates as confidence drops; QBC/US stop improving fusion well
+// before Approx-MEU does; Approx-MEU at 0.8 still achieves an improvement
+// comparable to error-free QBC/US.
+#include <iostream>
+#include <vector>
+
+#include "core/oracle.h"
+#include "exp/harness.h"
+#include "exp/report.h"
+#include "exp/scale.h"
+#include "fusion/accu.h"
+
+using namespace veritas;
+
+int main() {
+  const ScaleMode mode = GetScaleMode();
+  const NamedDataset books = MakeBooksLike(mode);
+  AccuFusion model;
+
+  CurveOptions options;
+  options.report_fractions = {0.02, 0.05, 0.08, 0.10, 0.15};
+  options.seed = 13;
+
+  const std::vector<double> confidences = {1.0, 0.9, 0.8};
+  const std::vector<std::string> strategies = {"qbc", "us", "approx_meu"};
+
+  PrintBanner(std::cout, "Figure 6 — feedback confidence (" + books.name +
+                             ")");
+  for (const std::string& strategy : strategies) {
+    std::cout << "\n" << strategy << ":\n";
+    TextTable table({"% validated", "conf=1.0", "conf=0.9", "conf=0.8"});
+    std::vector<CurveResult> curves;
+    for (double confidence : confidences) {
+      ConfidenceOracle oracle(confidence);
+      auto curve = RunCurve(books.data.db, books.data.truth, model, strategy,
+                            &oracle, options);
+      if (!curve.ok()) {
+        std::cerr << strategy << " failed: " << curve.status() << "\n";
+        return 1;
+      }
+      curves.push_back(std::move(curve).value());
+    }
+    for (std::size_t p = 0; p < options.report_fractions.size(); ++p) {
+      std::vector<std::string> row = {
+          Num(options.report_fractions[p] * 100.0, 0) + "%"};
+      for (const CurveResult& curve : curves) {
+        row.push_back(Pct(curve.points[p].distance_reduction_pct));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\n(more negative = better; paper shape: lower confidence "
+               "-> weaker improvement, Approx-MEU most resilient)\n";
+  return 0;
+}

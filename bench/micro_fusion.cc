@@ -1,0 +1,86 @@
+// google-benchmark micro-benchmarks for the fusion substrate: iteration
+// cost of each model, warm-start benefit, and Eq. (1) primitives.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+#include "fusion/fusion_factory.h"
+
+using namespace veritas;
+
+namespace {
+
+SyntheticDataset MakeDataset(std::size_t items) {
+  DenseConfig config;
+  config.num_items = items;
+  config.num_sources = 38;
+  config.density = 0.36;
+  config.seed = 99;
+  return GenerateDense(config);
+}
+
+void BM_AccuFuse(benchmark::State& state) {
+  const SyntheticDataset data = MakeDataset(state.range(0));
+  AccuFusion model;
+  FusionOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Fuse(data.db, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * data.db.num_items());
+}
+BENCHMARK(BM_AccuFuse)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_AccuFuseWarmStart(benchmark::State& state) {
+  const SyntheticDataset data = MakeDataset(state.range(0));
+  AccuFusion model;
+  FusionOptions opts;
+  const FusionResult warm = model.Fuse(data.db, opts);
+  PriorSet priors;
+  priors.SetExact(data.db, data.db.ConflictingItems().front(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Fuse(data.db, priors, opts, &warm));
+  }
+  state.SetItemsProcessed(state.iterations() * data.db.num_items());
+}
+BENCHMARK(BM_AccuFuseWarmStart)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_FusionModelComparison(benchmark::State& state,
+                              const std::string& name) {
+  const SyntheticDataset data = MakeDataset(1000);
+  auto model = MakeFusionModel(name);
+  FusionOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*model)->Fuse(data.db, PriorSet(), opts));
+  }
+}
+BENCHMARK_CAPTURE(BM_FusionModelComparison, voting, "voting");
+BENCHMARK_CAPTURE(BM_FusionModelComparison, accu, "accu");
+BENCHMARK_CAPTURE(BM_FusionModelComparison, truthfinder, "truthfinder");
+BENCHMARK_CAPTURE(BM_FusionModelComparison, pooled, "pooled_investment");
+
+void BM_ClaimProbabilities(benchmark::State& state) {
+  const SyntheticDataset data = MakeDataset(1000);
+  AccuFusion model;
+  const FusionResult fused = model.Fuse(data.db, FusionOptions{});
+  ItemId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AccuFusion::ClaimProbabilities(
+        data.db, i, fused.accuracies()));
+    i = (i + 1) % static_cast<ItemId>(data.db.num_items());
+  }
+}
+BENCHMARK(BM_ClaimProbabilities);
+
+void BM_TotalEntropy(benchmark::State& state) {
+  const SyntheticDataset data = MakeDataset(4000);
+  AccuFusion model;
+  const FusionResult fused = model.Fuse(data.db, FusionOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fused.TotalEntropy());
+  }
+}
+BENCHMARK(BM_TotalEntropy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+#include "core/approx_meu.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fusion/accu.h"
+#include "util/math.h"
+
+namespace veritas {
+
+namespace {
+
+// 1 / (A(s) (1 - A(s))) — the derivative factor of ln(A/(1-A)) appearing in
+// Eq. (10)/(17). Accuracies are clamped so the factor stays finite.
+double OddsDerivativeFactor(double accuracy) {
+  const double a = ClampAccuracy(accuracy);
+  return 1.0 / (a * (1.0 - a));
+}
+
+// g(v) per claim of item j: sum over affected sources voting for the claim of
+// dA(s) / (A(s)(1-A(s))). Unaffected sources contribute zero.
+std::vector<double> ComputeClaimG(const Database& db,
+                                  const FusionResult& fusion, ItemId j,
+                                  const AccuracyDeltas& deltas) {
+  std::vector<double> g(db.num_claims(j), 0.0);
+  for (const ItemVote& iv : db.item_votes(j)) {
+    auto it = deltas.find(iv.source);
+    if (it == deltas.end()) continue;
+    g[iv.claim] += it->second * OddsDerivativeFactor(fusion.accuracy(iv.source));
+  }
+  return g;
+}
+
+}  // namespace
+
+AccuracyDeltas ComputeAccuracyDeltas(const Database& db,
+                                     const FusionResult& fusion, ItemId item,
+                                     ClaimIndex true_claim) {
+  AccuracyDeltas deltas;
+  for (const ItemVote& iv : db.item_votes(item)) {
+    // dp of the claim this source supports: 1-p for the validated claim,
+    // -p for every other claim (§4.2.3).
+    const double p = fusion.prob(item, iv.claim);
+    const double dp = (iv.claim == true_claim) ? (1.0 - p) : (0.0 - p);
+    deltas[iv.source] =
+        dp / static_cast<double>(db.source_degree(iv.source));
+  }
+  return deltas;
+}
+
+std::vector<double> EstimateUpdatedProbs(const Database& db,
+                                         const FusionResult& fusion, ItemId j,
+                                         const AccuracyDeltas& deltas) {
+  const std::vector<double>& probs = fusion.item_probs(j);
+  if (probs.size() <= 1) return probs;
+  const std::vector<double> g = ComputeClaimG(db, fusion, j, deltas);
+  double g_bar = 0.0;
+  for (ClaimIndex r = 0; r < probs.size(); ++r) g_bar += probs[r] * g[r];
+  std::vector<double> updated(probs.size());
+  for (ClaimIndex r = 0; r < probs.size(); ++r) {
+    // Closed form of Eq. (10): dp_r = p_r (g(r) - sum_v p_v g(v)).
+    updated[r] = ClampProb(probs[r] + probs[r] * (g[r] - g_bar));
+  }
+  return updated;
+}
+
+std::vector<double> EstimateUpdatedProbsLiteral(const Database& db,
+                                                const FusionResult& fusion,
+                                                ItemId j,
+                                                const AccuracyDeltas& deltas) {
+  const std::vector<double>& probs = fusion.item_probs(j);
+  if (probs.size() <= 1) return probs;
+  const std::vector<double> g = ComputeClaimG(db, fusion, j, deltas);
+  // f(r, v) of Eq. (15) as exp(score(v) - score(r)) over the current
+  // accuracies.
+  const std::vector<double> scores =
+      AccuFusion::ClaimLogScores(db, j, fusion.accuracies());
+  std::vector<double> updated(probs.size());
+  for (ClaimIndex r = 0; r < probs.size(); ++r) {
+    double sum = 0.0;
+    for (ClaimIndex v = 0; v < probs.size(); ++v) {
+      const double f = std::exp(scores[v] - scores[r]);
+      sum += f * (g[v] - g[r]);
+    }
+    const double dp = -(probs[r] * probs[r]) * sum;  // Eq. (10)/(18).
+    updated[r] = ClampProb(probs[r] + dp);
+  }
+  return updated;
+}
+
+double ApproxMeuStrategy::ExpectedEntropyAfterValidation(
+    const StrategyContext& ctx, ItemId item,
+    const std::vector<bool>* impact_filter) {
+  assert(ctx.graph != nullptr && "ApproxMeu requires ctx.graph");
+  const Database& db = *ctx.db;
+  const FusionResult& fusion = *ctx.fusion;
+
+  const double total_entropy = fusion.TotalEntropy();
+  std::vector<ItemId> neighbors;
+  ctx.graph->CollectNeighbors(item, &neighbors);
+
+  double expected = 0.0;
+  for (ClaimIndex t = 0; t < db.num_claims(item); ++t) {
+    const double pt = fusion.prob(item, t);
+    if (pt <= 0.0) continue;
+    const AccuracyDeltas deltas = ComputeAccuracyDeltas(db, fusion, item, t);
+    // The validated item's entropy drops to zero; neighbours move by the
+    // differential estimate; everything farther keeps its entropy
+    // (Theorem 4.1 truncation).
+    double estimate = total_entropy - fusion.ItemEntropy(item);
+    for (ItemId j : neighbors) {
+      if (ctx.priors->Has(j)) continue;  // Pinned distributions do not move.
+      if (impact_filter != nullptr && !(*impact_filter)[j]) continue;
+      if (db.num_claims(j) <= 1) continue;
+      const std::vector<double> updated =
+          EstimateUpdatedProbs(db, fusion, j, deltas);
+      estimate += Entropy(updated) - fusion.ItemEntropy(j);
+    }
+    expected += pt * estimate;
+  }
+  return expected;
+}
+
+std::vector<double> ApproxMeuStrategy::ScoreCandidates(
+    const StrategyContext& ctx, const std::vector<ItemId>& candidates,
+    const std::vector<bool>* impact_filter) {
+  assert(ctx.graph != nullptr && "ApproxMeu requires ctx.graph");
+  const Database& db = *ctx.db;
+  const FusionResult& fusion = *ctx.fusion;
+
+  // Baseline entropies, computed once.
+  std::vector<double> item_entropy(db.num_items(), 0.0);
+  double total_entropy = 0.0;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    item_entropy[i] = fusion.ItemEntropy(i);
+    total_entropy += item_entropy[i];
+  }
+
+  std::vector<double> gains;
+  gains.reserve(candidates.size());
+  std::vector<ItemId> neighbors;
+  for (ItemId i : candidates) {
+    ctx.graph->CollectNeighbors(i, &neighbors);
+    double expected = 0.0;
+    for (ClaimIndex t = 0; t < db.num_claims(i); ++t) {
+      const double pt = fusion.prob(i, t);
+      if (pt <= 0.0) continue;
+      const AccuracyDeltas deltas = ComputeAccuracyDeltas(db, fusion, i, t);
+      double estimate = total_entropy - item_entropy[i];
+      for (ItemId j : neighbors) {
+        if (ctx.priors->Has(j)) continue;
+        if (impact_filter != nullptr && !(*impact_filter)[j]) continue;
+        if (db.num_claims(j) <= 1) continue;
+        const std::vector<double> updated =
+            EstimateUpdatedProbs(db, fusion, j, deltas);
+        estimate += Entropy(updated) - item_entropy[j];
+      }
+      expected += pt * estimate;
+    }
+    // Delta EU_i of Eq. (13).
+    gains.push_back(total_entropy - expected);
+  }
+  return gains;
+}
+
+std::vector<ItemId> ApproxMeuStrategy::SelectBatch(const StrategyContext& ctx,
+                                                   std::size_t batch) {
+  const std::vector<ItemId> candidates = CandidateItems(ctx);
+  const std::vector<double> gains =
+      ScoreCandidates(ctx, candidates, /*impact_filter=*/nullptr);
+  return TopKByScore(candidates, gains, batch);
+}
+
+}  // namespace veritas

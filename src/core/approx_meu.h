@@ -1,0 +1,82 @@
+// Approx-MEU (§4.2.3, Algorithm 2, Appendix A.1): the scalable VPI strategy.
+//
+// Instead of re-running fusion for every hypothesized validation, Approx-MEU
+// analytically estimates the first-order (differential) change a validation
+// of item o_i induces in the claim probabilities of its one-hop neighbours:
+//
+//   1. Validating claim v_i^t changes o_i's probabilities by
+//        dp_i^t = 1 - p_i^t,   dp_i^f = -p_i^f          (§4.2.3)
+//   2. Eq. (9): every source s voting claim v_i^l on o_i shifts accuracy by
+//        dA(s) = dp_i^l / N(s)
+//   3. Eq. (10): a neighbour item o_j's claim v_j^r shifts by
+//        dp_j^r = -(p_j^r)^2 sum_v f(r,v) (g(v) - g(r))
+//      with g(v) = sum_{s in S(v)} dA(s) / (A(s)(1 - A(s))).
+//      Substituting f(r,v) = p_j^v / p_j^r collapses this to the closed form
+//        dp_j^r = p_j^r (g(r) - sum_v p_j^v g(v)),
+//      which sums to zero over an item's claims (distributions stay
+//      normalized to first order). Both forms are implemented; tests verify
+//      they agree.
+//   4. Items more than one hop away are untouched — Theorem 4.1 shows the
+//      change decays as (1/N)^d with hop distance d.
+//
+// The expected entropy after validating o_i (Eq. 13) is then computed over
+// the *estimated* probabilities, and the item with the maximum expected
+// entropy reduction is selected. Requires ctx.graph.
+#ifndef VERITAS_CORE_APPROX_MEU_H_
+#define VERITAS_CORE_APPROX_MEU_H_
+
+#include <unordered_map>
+
+#include "core/strategy.h"
+
+namespace veritas {
+
+/// Per-source accuracy deltas induced by a hypothesized validation (Eq. 9).
+using AccuracyDeltas = std::unordered_map<SourceId, double>;
+
+/// Computes Eq. (9): the accuracy deltas of all sources voting on `item`,
+/// under the hypothesis that claim `true_claim` is validated as true.
+AccuracyDeltas ComputeAccuracyDeltas(const Database& db,
+                                     const FusionResult& fusion, ItemId item,
+                                     ClaimIndex true_claim);
+
+/// Estimated post-validation distribution of item `j` given source accuracy
+/// deltas, using the closed-form first-order update (fast path). Entries are
+/// clamped into [0, 1].
+std::vector<double> EstimateUpdatedProbs(const Database& db,
+                                         const FusionResult& fusion, ItemId j,
+                                         const AccuracyDeltas& deltas);
+
+/// Literal Eq. (10) implementation (ratio-of-products form). Used to verify
+/// the fast path; O(|V_j|^2) instead of O(|V_j|).
+std::vector<double> EstimateUpdatedProbsLiteral(const Database& db,
+                                                const FusionResult& fusion,
+                                                ItemId j,
+                                                const AccuracyDeltas& deltas);
+
+/// The Approx-MEU strategy.
+class ApproxMeuStrategy : public Strategy {
+ public:
+  std::string name() const override { return "approx_meu"; }
+
+  std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
+                                  std::size_t batch) override;
+
+  /// Expected total entropy after validating `item`, under the differential
+  /// estimate (the EU* of Table 9). When `impact_filter` is non-null, only
+  /// neighbour items j with (*impact_filter)[j] participate in the impact
+  /// computation (used by Approx-MEU_k, §4.3).
+  static double ExpectedEntropyAfterValidation(
+      const StrategyContext& ctx, ItemId item,
+      const std::vector<bool>* impact_filter);
+
+  /// Scores Delta-EU (Eq. 13 gain) for each candidate; shared with the
+  /// hybrid strategy.
+  static std::vector<double> ScoreCandidates(
+      const StrategyContext& ctx, const std::vector<ItemId>& candidates,
+      const std::vector<bool>* impact_filter);
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_APPROX_MEU_H_

@@ -1,0 +1,78 @@
+#include "core/gub.h"
+
+#include <atomic>
+#include <cassert>
+#include <limits>
+#include <thread>
+
+#include "core/metrics.h"
+
+namespace veritas {
+
+double GubStrategy::CandidateGain(const StrategyContext& ctx, ItemId item,
+                                  double current_utility) const {
+  const Database& db = *ctx.db;
+  const GroundTruth& truth = *ctx.ground_truth;
+  if (mode_ == GubMode::kOracle) {
+    const ClaimIndex t = truth.TrueClaim(item);
+    if (t == kInvalidClaim) {
+      // Truth unknown: GUB cannot evaluate this item.
+      return -std::numeric_limits<double>::infinity();
+    }
+    PriorSet lookahead = *ctx.priors;
+    lookahead.SetExact(db, item, t);
+    const FusionResult result = ctx.model->Fuse(
+        db, lookahead, *ctx.fusion_opts,
+        ctx.warm_start_lookahead ? ctx.fusion : nullptr);
+    return GroundTruthUtility(db, result, truth) - current_utility;
+  }
+  // Definition 4: VPI = sum_k U(D, F | v_i^k true) p_i^k - U(D, F).
+  double expected = 0.0;
+  for (ClaimIndex k = 0; k < db.num_claims(item); ++k) {
+    const double pk = ctx.fusion->prob(item, k);
+    if (pk <= 0.0) continue;
+    PriorSet lookahead = *ctx.priors;
+    lookahead.SetExact(db, item, k);
+    const FusionResult result = ctx.model->Fuse(
+        db, lookahead, *ctx.fusion_opts,
+        ctx.warm_start_lookahead ? ctx.fusion : nullptr);
+    expected += pk * GroundTruthUtility(db, result, truth);
+  }
+  return expected - current_utility;
+}
+
+std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
+                                             std::size_t batch) {
+  assert(ctx.model != nullptr && ctx.fusion_opts != nullptr &&
+         ctx.ground_truth != nullptr &&
+         "GubStrategy requires ctx.model, ctx.fusion_opts, ctx.ground_truth");
+  const std::vector<ItemId> candidates = CandidateItems(ctx);
+  const double current_utility =
+      GroundTruthUtility(*ctx.db, *ctx.fusion, *ctx.ground_truth);
+
+  std::vector<double> gains(candidates.size(), 0.0);
+  const std::size_t workers = std::min(num_threads_, candidates.size());
+  if (workers <= 1) {
+    for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+      gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
+    }
+  } else {
+    // Independent lookaheads; see MeuStrategy::SelectBatch for the scheme.
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+      while (true) {
+        const std::size_t idx = next.fetch_add(1);
+        if (idx >= candidates.size()) break;
+        gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
+    work();
+    for (std::thread& t : pool) t.join();
+  }
+  return TopKByScore(candidates, gains, batch);
+}
+
+}  // namespace veritas

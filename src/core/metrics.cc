@@ -1,0 +1,51 @@
+#include "core/metrics.h"
+
+namespace veritas {
+
+double DistanceToGroundTruth(const Database& db, const FusionResult& fusion,
+                             const GroundTruth& truth) {
+  if (db.num_items() == 0) return 0.0;
+  double sum = 0.0;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const ClaimIndex t = truth.TrueClaim(i);
+    if (t == kInvalidClaim) continue;
+    sum += 1.0 - fusion.prob(i, t);
+  }
+  return sum / static_cast<double>(db.num_items());
+}
+
+double Uncertainty(const FusionResult& fusion) {
+  return fusion.TotalEntropy();
+}
+
+double GroundTruthUtility(const Database& db, const FusionResult& fusion,
+                          const GroundTruth& truth) {
+  if (db.num_claims() == 0) return 0.0;
+  double sum = 0.0;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const ClaimIndex t = truth.TrueClaim(i);
+    if (t == kInvalidClaim) continue;
+    sum += fusion.prob(i, t) / static_cast<double>(db.num_claims(i));
+  }
+  return sum / static_cast<double>(db.num_claims());
+}
+
+double EntropyUtility(const FusionResult& fusion) {
+  return -fusion.TotalEntropy();
+}
+
+double FusionAccuracy(const Database& db, const FusionResult& fusion,
+                      const GroundTruth& truth) {
+  std::size_t known = 0;
+  std::size_t correct = 0;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const ClaimIndex t = truth.TrueClaim(i);
+    if (t == kInvalidClaim) continue;
+    ++known;
+    if (fusion.WinningClaim(i) == t) ++correct;
+  }
+  if (known == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(known);
+}
+
+}  // namespace veritas

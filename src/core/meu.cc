@@ -1,0 +1,62 @@
+#include "core/meu.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+namespace veritas {
+
+double MeuStrategy::ExpectedEntropyAfterValidation(const StrategyContext& ctx,
+                                                   ItemId item) {
+  const Database& db = *ctx.db;
+  double expected = 0.0;
+  for (ClaimIndex k = 0; k < db.num_claims(item); ++k) {
+    const double pk = ctx.fusion->prob(item, k);
+    if (pk <= 0.0) continue;  // Zero-probability hypotheses contribute 0.
+    PriorSet lookahead = *ctx.priors;
+    lookahead.SetExact(db, item, k);
+    const FusionResult result = ctx.model->Fuse(
+        db, lookahead, *ctx.fusion_opts,
+        ctx.warm_start_lookahead ? ctx.fusion : nullptr);
+    expected += pk * result.TotalEntropy();
+  }
+  return expected;
+}
+
+std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
+                                             std::size_t batch) {
+  assert(ctx.model != nullptr && ctx.fusion_opts != nullptr &&
+         "MeuStrategy requires ctx.model and ctx.fusion_opts");
+  const std::vector<ItemId> candidates = CandidateItems(ctx);
+  const double current_entropy = ctx.fusion->TotalEntropy();
+  std::vector<double> gains(candidates.size(), 0.0);
+  const std::size_t workers = std::min(num_threads_, candidates.size());
+  if (workers <= 1) {
+    for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+      // Delta EU_i of Eq. (7): current entropy minus expected entropy.
+      gains[idx] = current_entropy -
+                   ExpectedEntropyAfterValidation(ctx, candidates[idx]);
+    }
+  } else {
+    // Each candidate's lookahead is independent; work-steal over an atomic
+    // index so stragglers do not serialize the batch. Writes go to disjoint
+    // slots, so the result is identical to the sequential run.
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+      while (true) {
+        const std::size_t idx = next.fetch_add(1);
+        if (idx >= candidates.size()) break;
+        gains[idx] = current_entropy -
+                     ExpectedEntropyAfterValidation(ctx, candidates[idx]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
+    work();
+    for (std::thread& t : pool) t.join();
+  }
+  return TopKByScore(candidates, gains, batch);
+}
+
+}  // namespace veritas

@@ -1,0 +1,49 @@
+// MEU — Maximum Expected Utility (§4.2.2, Algorithm 1): the exact VPI
+// framework over the entropy utility function (Definition 5).
+//
+// For every candidate item o_i and every claim v_i^k, MEU pins v_i^k as true,
+// re-runs fusion, and measures the resulting total entropy. The expected
+// utility of validating o_i is the p_i^k-weighted average of those entropies;
+// the item maximizing the expected entropy reduction (Eq. 7) is selected.
+//
+// Cost: O(m * kappa) re-fusions per action — exact but expensive; re-fusions
+// are warm-started from the current accuracies to cut iterations.
+// Requires ctx.model and ctx.fusion_opts.
+#ifndef VERITAS_CORE_MEU_H_
+#define VERITAS_CORE_MEU_H_
+
+#include "core/strategy.h"
+
+namespace veritas {
+
+/// Exact one-step-lookahead VPI strategy with the entropy utility.
+class MeuStrategy : public Strategy {
+ public:
+  /// `num_threads` > 1 scores candidates concurrently (the lookahead
+  /// re-fusions are independent). Results are bit-identical to the
+  /// sequential run. Only use with thread-safe fusion models — all built-in
+  /// models qualify except AccuCopyFusion, whose dependence-matrix cache is
+  /// mutated during Fuse.
+  explicit MeuStrategy(std::size_t num_threads = 1)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+  std::string name() const override { return "meu"; }
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
+                                  std::size_t batch) override;
+
+  /// Expected total entropy after validating `item` (the EU* of Table 6):
+  ///   sum_k p_i^k * TotalEntropy(F(D | v_i^k = true)).
+  /// Exposed for the worked-example tests and diagnostics.
+  static double ExpectedEntropyAfterValidation(const StrategyContext& ctx,
+                                               ItemId item);
+
+ private:
+  std::size_t num_threads_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_MEU_H_

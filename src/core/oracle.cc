@@ -1,0 +1,175 @@
+#include "core/oracle.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace veritas {
+
+namespace {
+
+Status RequireTruth(const Database& db, ItemId item, const GroundTruth& truth) {
+  if (item >= db.num_items()) {
+    return Status::OutOfRange("oracle: item id out of range");
+  }
+  if (!truth.Knows(item)) {
+    return Status::FailedPrecondition(
+        "oracle: ground truth unknown for item '" + db.item(item).name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<double> SpreadDistribution(std::size_t num_claims,
+                                       ClaimIndex true_claim, double p_true) {
+  assert(true_claim < num_claims);
+  if (num_claims == 1) return {1.0};
+  p_true = ClampProb(p_true);
+  std::vector<double> out(num_claims,
+                          (1.0 - p_true) /
+                              static_cast<double>(num_claims - 1));
+  out[true_claim] = p_true;
+  return out;
+}
+
+Result<std::vector<double>> PerfectOracle::Answer(const Database& db,
+                                                  ItemId item,
+                                                  const GroundTruth& truth,
+                                                  Rng* /*rng*/) {
+  VERITAS_RETURN_IF_ERROR(RequireTruth(db, item, truth));
+  return SpreadDistribution(db.num_claims(item), truth.TrueClaim(item), 1.0);
+}
+
+ConfidenceOracle::ConfidenceOracle(double confidence)
+    : confidence_(confidence) {
+  assert(confidence > 0.0 && confidence <= 1.0);
+}
+
+std::string ConfidenceOracle::name() const {
+  return "confidence:" + FormatDouble(confidence_, 2);
+}
+
+Result<std::vector<double>> ConfidenceOracle::Answer(const Database& db,
+                                                     ItemId item,
+                                                     const GroundTruth& truth,
+                                                     Rng* /*rng*/) {
+  VERITAS_RETURN_IF_ERROR(RequireTruth(db, item, truth));
+  return SpreadDistribution(db.num_claims(item), truth.TrueClaim(item),
+                            confidence_);
+}
+
+IncorrectOracle::IncorrectOracle(double error_rate) : error_rate_(error_rate) {
+  assert(error_rate >= 0.0 && error_rate <= 1.0);
+}
+
+std::string IncorrectOracle::name() const {
+  return "incorrect:" + FormatDouble(error_rate_, 2);
+}
+
+Result<std::vector<double>> IncorrectOracle::Answer(const Database& db,
+                                                    ItemId item,
+                                                    const GroundTruth& truth,
+                                                    Rng* rng) {
+  VERITAS_RETURN_IF_ERROR(RequireTruth(db, item, truth));
+  assert(rng != nullptr && "IncorrectOracle requires an Rng");
+  const std::size_t n = db.num_claims(item);
+  const ClaimIndex t = truth.TrueClaim(item);
+  if (n > 1 && rng->Bernoulli(error_rate_)) {
+    // Wrong feedback: truth zeroed, uniform over the remaining claims
+    // (§4.4, "Incorrect feedback").
+    return SpreadDistribution(n, t, 0.0);
+  }
+  return SpreadDistribution(n, t, 1.0);
+}
+
+namespace {
+
+// Parses "<a>" or "<a>,<b>" numeric parameter lists.
+Result<std::vector<double>> ParseParams(const std::string& text,
+                                        std::size_t expected) {
+  const std::vector<std::string> parts = Split(text, ',');
+  if (parts.size() != expected) {
+    return Status::InvalidArgument("expected " + std::to_string(expected) +
+                                   " oracle parameter(s), got '" + text +
+                                   "'");
+  }
+  std::vector<double> out;
+  for (const std::string& part : parts) {
+    char* end = nullptr;
+    const double parsed = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad oracle parameter: '" + part + "'");
+    }
+    out.push_back(parsed);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FeedbackOracle>> MakeOracle(const std::string& spec) {
+  if (spec == "perfect") {
+    return std::unique_ptr<FeedbackOracle>(new PerfectOracle());
+  }
+  const std::size_t colon = spec.find(':');
+  const std::string kind =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "confidence") {
+    VERITAS_ASSIGN_OR_RETURN(auto p, ParseParams(params, 1));
+    if (p[0] <= 0.0 || p[0] > 1.0) {
+      return Status::InvalidArgument("confidence must be in (0, 1]");
+    }
+    return std::unique_ptr<FeedbackOracle>(new ConfidenceOracle(p[0]));
+  }
+  if (kind == "incorrect") {
+    VERITAS_ASSIGN_OR_RETURN(auto p, ParseParams(params, 1));
+    if (p[0] < 0.0 || p[0] > 1.0) {
+      return Status::InvalidArgument("error rate must be in [0, 1]");
+    }
+    return std::unique_ptr<FeedbackOracle>(new IncorrectOracle(p[0]));
+  }
+  if (kind == "conflicting") {
+    VERITAS_ASSIGN_OR_RETURN(auto p, ParseParams(params, 2));
+    if (p[0] < 0.0 || p[0] > 1.0 || p[1] < 0.0 || p[1] > 1.0) {
+      return Status::InvalidArgument(
+          "conflicting parameters must be in [0, 1]");
+    }
+    return std::unique_ptr<FeedbackOracle>(new ConflictingOracle(p[0], p[1]));
+  }
+  return Status::NotFound("unknown oracle: " + spec);
+}
+
+ConflictingOracle::ConflictingOracle(double conflict_fraction,
+                                     double consensus)
+    : conflict_fraction_(conflict_fraction), consensus_(consensus) {
+  assert(conflict_fraction >= 0.0 && conflict_fraction <= 1.0);
+  assert(consensus >= 0.0 && consensus <= 1.0);
+}
+
+std::string ConflictingOracle::name() const {
+  return "conflicting:" + FormatDouble(conflict_fraction_, 2) + "," +
+         FormatDouble(consensus_, 2);
+}
+
+Result<std::vector<double>> ConflictingOracle::Answer(const Database& db,
+                                                      ItemId item,
+                                                      const GroundTruth& truth,
+                                                      Rng* rng) {
+  VERITAS_RETURN_IF_ERROR(RequireTruth(db, item, truth));
+  assert(rng != nullptr && "ConflictingOracle requires an Rng");
+  const std::size_t n = db.num_claims(item);
+  const ClaimIndex t = truth.TrueClaim(item);
+  if (n > 1 && rng->Bernoulli(conflict_fraction_)) {
+    // The crowd disagrees: the true claim only receives `consensus` mass
+    // (§4.4, "Conflicting feedback").
+    return SpreadDistribution(n, t, consensus_);
+  }
+  return SpreadDistribution(n, t, 1.0);
+}
+
+}  // namespace veritas

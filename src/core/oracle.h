@@ -1,0 +1,113 @@
+// Feedback oracles: simulate the user/crowd answering a validation request
+// (paper §4.4 and §5 "Feedback Simulation"). An oracle converts the true
+// claim of an item into the claim distribution that gets pinned as a prior.
+//
+//   PerfectOracle      — one-hot on the true claim (expert feedback).
+//   ConfidenceOracle   — §4.4(1): p(true claim) = c; the remaining 1-c mass
+//                        is spread uniformly over the other claims so the
+//                        pinned vector is a distribution.
+//   IncorrectOracle    — §4.4(2): with probability e the feedback is wrong:
+//                        p(true claim) = 0 and the remaining claims get a
+//                        uniform distribution; otherwise one-hot truth.
+//   ConflictingOracle  — §4.4(3): for a fraction f of the items the crowd
+//                        disagrees and reports p(true claim) = consensus with
+//                        the rest spread uniformly; otherwise one-hot truth.
+#ifndef VERITAS_CORE_ORACLE_H_
+#define VERITAS_CORE_ORACLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "model/ground_truth.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace veritas {
+
+/// Produces the claim distribution pinned when `item` is validated.
+class FeedbackOracle {
+ public:
+  virtual ~FeedbackOracle() = default;
+
+  /// Short identifier ("perfect", "confidence:0.9", ...).
+  virtual std::string name() const = 0;
+
+  /// The feedback distribution over the claims of `item`. Fails when the
+  /// ground truth for `item` is unknown. `rng` may be null for deterministic
+  /// oracles (PerfectOracle, ConfidenceOracle).
+  virtual Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                             const GroundTruth& truth,
+                                             Rng* rng) = 0;
+};
+
+/// Always reports the true claim with certainty.
+class PerfectOracle : public FeedbackOracle {
+ public:
+  std::string name() const override { return "perfect"; }
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+};
+
+/// Reports the true claim with a fixed confidence c in (0, 1].
+class ConfidenceOracle : public FeedbackOracle {
+ public:
+  explicit ConfidenceOracle(double confidence);
+  std::string name() const override;
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+  double confidence() const { return confidence_; }
+
+ private:
+  double confidence_;
+};
+
+/// With probability `error_rate` gives incorrect feedback (truth zeroed out,
+/// uniform over the other claims). Requires rng.
+class IncorrectOracle : public FeedbackOracle {
+ public:
+  explicit IncorrectOracle(double error_rate);
+  std::string name() const override;
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+  double error_rate() const { return error_rate_; }
+
+ private:
+  double error_rate_;
+};
+
+/// With probability `conflict_fraction` the crowd disagrees and reports the
+/// true claim with probability `consensus` (rest uniform). Requires rng.
+class ConflictingOracle : public FeedbackOracle {
+ public:
+  ConflictingOracle(double conflict_fraction, double consensus);
+  std::string name() const override;
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+  double conflict_fraction() const { return conflict_fraction_; }
+  double consensus() const { return consensus_; }
+
+ private:
+  double conflict_fraction_;
+  double consensus_;
+};
+
+/// Helper shared by the oracles: distribution with `p_true` on `true_claim`
+/// and the remaining mass spread uniformly over the other claims. A
+/// single-claim item always yields {1.0}.
+std::vector<double> SpreadDistribution(std::size_t num_claims,
+                                       ClaimIndex true_claim, double p_true);
+
+/// Creates an oracle from a spec string: "perfect", "confidence:<c>",
+/// "incorrect:<rate>", "conflicting:<fraction>,<consensus>". Unknown specs
+/// yield NotFound; malformed parameters yield InvalidArgument.
+Result<std::unique_ptr<FeedbackOracle>> MakeOracle(const std::string& spec);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_ORACLE_H_

@@ -1,0 +1,30 @@
+#include "core/qbc.h"
+
+namespace veritas {
+
+std::vector<ItemId> QbcStrategy::SelectBatch(const StrategyContext& ctx,
+                                             std::size_t batch) {
+  const Database& db = *ctx.db;
+  if (ranked_.empty() || ranked_db_ != &db ||
+      ranked_includes_singletons_ != ctx.include_singletons) {
+    std::vector<ItemId> candidates;
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+      if (!ctx.include_singletons && !db.HasConflict(i)) continue;
+      candidates.push_back(i);
+    }
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (ItemId i : candidates) scores.push_back(VoteEntropy(db, i));
+    ranked_ = TopKByScore(candidates, scores, candidates.size());
+    ranked_db_ = &db;
+    ranked_includes_singletons_ = ctx.include_singletons;
+  }
+  std::vector<ItemId> out;
+  for (ItemId i : ranked_) {
+    if (out.size() >= batch) break;
+    if (!ctx.priors->Has(i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace veritas

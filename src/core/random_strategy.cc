@@ -1,0 +1,16 @@
+#include "core/random_strategy.h"
+
+#include <cassert>
+
+namespace veritas {
+
+std::vector<ItemId> RandomStrategy::SelectBatch(const StrategyContext& ctx,
+                                                std::size_t batch) {
+  assert(ctx.rng != nullptr && "RandomStrategy requires ctx.rng");
+  std::vector<ItemId> candidates = CandidateItems(ctx);
+  ctx.rng->Shuffle(&candidates);
+  if (candidates.size() > batch) candidates.resize(batch);
+  return candidates;
+}
+
+}  // namespace veritas

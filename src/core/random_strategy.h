@@ -1,0 +1,21 @@
+// Random: the naive baseline (§5, "Competing Methods" #6) — every
+// unvalidated item is considered equally beneficial. Requires ctx.rng.
+#ifndef VERITAS_CORE_RANDOM_STRATEGY_H_
+#define VERITAS_CORE_RANDOM_STRATEGY_H_
+
+#include "core/strategy.h"
+
+namespace veritas {
+
+/// Uniformly random selection among unvalidated items.
+class RandomStrategy : public Strategy {
+ public:
+  std::string name() const override { return "random"; }
+
+  std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
+                                  std::size_t batch) override;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_RANDOM_STRATEGY_H_

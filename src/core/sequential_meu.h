@@ -1,0 +1,53 @@
+// Sequential (two-step) MEU — the paper's stated future work (§4.2.2:
+// "It is possible that some action may not lead to the highest VPI at the
+// current step but validating it can result in a higher VPI in subsequent
+// validations. Sequential validations are challenging and often
+// computationally expensive; the present work focuses only on myopic
+// strategies.").
+//
+// This strategy looks two validations ahead: the value of validating o_i is
+// the expectation, over o_i's claims, of the entropy reachable after the
+// *best* follow-up validation. Exhaustive two-step search is O((m*kappa)^2)
+// re-fusions; we bound it with two beams:
+//   * only the `beam_width` best items by one-step gain are expanded, and
+//   * within each hypothesized state only the `inner_beam` most uncertain
+//     items are considered as the follow-up action.
+// Requires ctx.model and ctx.fusion_opts.
+#ifndef VERITAS_CORE_SEQUENTIAL_MEU_H_
+#define VERITAS_CORE_SEQUENTIAL_MEU_H_
+
+#include "core/strategy.h"
+
+namespace veritas {
+
+/// Beam bounds for the two-step search.
+struct SequentialMeuOptions {
+  std::size_t beam_width = 5;  ///< Items expanded at depth 1.
+  std::size_t inner_beam = 5;  ///< Follow-up items evaluated at depth 2.
+};
+
+/// Two-step-lookahead VPI strategy over the entropy utility.
+class SequentialMeuStrategy : public Strategy {
+ public:
+  explicit SequentialMeuStrategy(SequentialMeuOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "meu2"; }
+
+  std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
+                                  std::size_t batch) override;
+
+  /// Expected total entropy after validating `item` and then the best
+  /// follow-up action (inner beam bounded). Exposed for tests.
+  static double TwoStepExpectedEntropy(const StrategyContext& ctx,
+                                       ItemId item, std::size_t inner_beam);
+
+  const SequentialMeuOptions& options() const { return options_; }
+
+ private:
+  SequentialMeuOptions options_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_SEQUENTIAL_MEU_H_

@@ -1,0 +1,101 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "util/timer.h"
+
+namespace veritas {
+
+double SessionTrace::DistanceReductionPercent(std::size_t idx) const {
+  if (idx >= steps.size() || initial_distance == 0.0) return 0.0;
+  return (steps[idx].distance - initial_distance) / initial_distance * 100.0;
+}
+
+double SessionTrace::UncertaintyReductionPercent(std::size_t idx) const {
+  if (idx >= steps.size() || initial_uncertainty == 0.0) return 0.0;
+  return (steps[idx].uncertainty - initial_uncertainty) /
+         initial_uncertainty * 100.0;
+}
+
+double SessionTrace::MeanSelectSeconds() const {
+  if (steps.empty()) return 0.0;
+  double total = 0.0;
+  for (const SessionStep& s : steps) total += s.select_seconds;
+  return total / static_cast<double>(steps.size());
+}
+
+FeedbackSession::FeedbackSession(const Database& db, const FusionModel& model,
+                                 Strategy* strategy, FeedbackOracle* oracle,
+                                 const GroundTruth& truth,
+                                 SessionOptions options, Rng* rng)
+    : db_(db),
+      model_(model),
+      strategy_(strategy),
+      oracle_(oracle),
+      truth_(truth),
+      options_(options),
+      rng_(rng) {}
+
+Result<SessionTrace> FeedbackSession::Run() {
+  SessionTrace trace;
+  strategy_->Reset();
+  const ItemGraph graph(db_);
+
+  FusionResult fusion = model_.Fuse(db_, trace.priors, options_.fusion);
+  trace.initial_distance = DistanceToGroundTruth(db_, fusion, truth_);
+  trace.initial_uncertainty = Uncertainty(fusion);
+
+  std::size_t validated = 0;
+  while (validated < options_.max_validations) {
+    StrategyContext ctx;
+    ctx.db = &db_;
+    ctx.fusion = &fusion;
+    ctx.priors = &trace.priors;
+    ctx.model = &model_;
+    ctx.fusion_opts = &options_.fusion;
+    ctx.ground_truth = &truth_;
+    ctx.graph = &graph;
+    ctx.rng = rng_;
+    ctx.include_singletons = options_.include_singletons;
+    ctx.warm_start_lookahead = options_.warm_start;
+
+    const std::size_t want = std::min(
+        options_.batch_size, options_.max_validations - validated);
+
+    Timer select_timer;
+    const std::vector<ItemId> batch = strategy_->SelectBatch(ctx, want);
+    const double select_seconds = select_timer.ElapsedSeconds();
+    if (batch.empty()) break;  // Candidate pool exhausted.
+
+    SessionStep step;
+    step.items = batch;
+    step.select_seconds = select_seconds;
+
+    for (ItemId item : batch) {
+      auto answer = oracle_->Answer(db_, item, truth_, rng_);
+      if (!answer.ok()) return answer.status();
+      VERITAS_RETURN_IF_ERROR(
+          trace.priors.SetDistribution(db_, item, std::move(answer).value()));
+      ++validated;
+    }
+
+    Timer fuse_timer;
+    fusion = options_.warm_start
+                 ? model_.Fuse(db_, trace.priors, options_.fusion, &fusion)
+                 : model_.Fuse(db_, trace.priors, options_.fusion);
+    step.fuse_seconds = fuse_timer.ElapsedSeconds();
+
+    step.num_validated = validated;
+    if (options_.record_metrics) {
+      step.distance = DistanceToGroundTruth(db_, fusion, truth_);
+      step.uncertainty = Uncertainty(fusion);
+    }
+    trace.steps.push_back(std::move(step));
+  }
+
+  trace.final_fusion = std::move(fusion);
+  return trace;
+}
+
+}  // namespace veritas

@@ -1,0 +1,88 @@
+// FeedbackSession: the sequential validation loop of the paper's evaluation
+// (§5): fuse -> measure -> let the strategy pick the next item(s) -> ask the
+// oracle -> pin the feedback as a prior -> repeat. Validations are retained,
+// so the metrics show the cumulative gain of all feedback acquired so far.
+#ifndef VERITAS_CORE_SESSION_H_
+#define VERITAS_CORE_SESSION_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/strategy.h"
+#include "fusion/fusion_model.h"
+#include "model/ground_truth.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Session knobs.
+struct SessionOptions {
+  FusionOptions fusion;
+  /// Stop after this many items have been validated (default: all).
+  std::size_t max_validations = std::numeric_limits<std::size_t>::max();
+  /// Items validated per round before re-fusing (§4.3 "Batch of Actions").
+  std::size_t batch_size = 1;
+  /// Forwarded to StrategyContext (see Strategy).
+  bool include_singletons = false;
+  /// Warm-start each re-fusion from the previous accuracies.
+  bool warm_start = true;
+  /// Record per-step metrics (disable for pure timing runs).
+  bool record_metrics = true;
+};
+
+/// Metrics after one validation round.
+struct SessionStep {
+  std::size_t num_validated = 0;      ///< Cumulative items validated.
+  std::vector<ItemId> items;          ///< Items validated this round.
+  double distance = 0.0;              ///< distance_to_ground_truth after.
+  double uncertainty = 0.0;           ///< Total entropy after.
+  double select_seconds = 0.0;        ///< Time the strategy took to decide.
+  double fuse_seconds = 0.0;          ///< Time to re-fuse with the feedback.
+};
+
+/// Full trace of a session.
+struct SessionTrace {
+  double initial_distance = 0.0;
+  double initial_uncertainty = 0.0;
+  std::vector<SessionStep> steps;
+  FusionResult final_fusion;
+  PriorSet priors;  ///< All feedback acquired.
+
+  /// Relative change of distance after `steps[idx]` vs the initial value, in
+  /// percent (negative = improvement); mirrors the paper's Figure 3 y-axis.
+  double DistanceReductionPercent(std::size_t idx) const;
+  /// Same for uncertainty (Figure 4 y-axis).
+  double UncertaintyReductionPercent(std::size_t idx) const;
+  /// Mean strategy decision time per round, seconds (Table 11).
+  double MeanSelectSeconds() const;
+};
+
+/// Drives a strategy + oracle against a database until the validation budget
+/// or the candidate pool is exhausted.
+class FeedbackSession {
+ public:
+  /// All referenced objects must outlive the session. `rng` may be null when
+  /// neither the strategy nor the oracle needs randomness.
+  FeedbackSession(const Database& db, const FusionModel& model,
+                  Strategy* strategy, FeedbackOracle* oracle,
+                  const GroundTruth& truth, SessionOptions options,
+                  Rng* rng);
+
+  /// Runs the loop. Fails if the oracle cannot answer a selected item.
+  Result<SessionTrace> Run();
+
+ private:
+  const Database& db_;
+  const FusionModel& model_;
+  Strategy* strategy_;
+  FeedbackOracle* oracle_;
+  const GroundTruth& truth_;
+  SessionOptions options_;
+  Rng* rng_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_SESSION_H_

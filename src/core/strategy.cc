@@ -1,0 +1,48 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fusion/voting.h"
+#include "util/math.h"
+
+namespace veritas {
+
+ItemId Strategy::SelectNext(const StrategyContext& ctx) {
+  const std::vector<ItemId> batch = SelectBatch(ctx, 1);
+  return batch.empty() ? kInvalidItem : batch.front();
+}
+
+std::vector<ItemId> CandidateItems(const StrategyContext& ctx) {
+  std::vector<ItemId> out;
+  const Database& db = *ctx.db;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (ctx.priors->Has(i)) continue;
+    if (!ctx.include_singletons && !db.HasConflict(i)) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ItemId> TopKByScore(const std::vector<ItemId>& candidates,
+                                const std::vector<double>& scores,
+                                std::size_t k) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t take = std::min(k, candidates.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return candidates[a] < candidates[b];
+                    });
+  std::vector<ItemId> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(candidates[order[i]]);
+  return out;
+}
+
+double VoteEntropy(const Database& db, ItemId item) {
+  return Entropy(VotingFusion::VoteShares(db, item));
+}
+
+}  // namespace veritas

@@ -1,0 +1,78 @@
+// Strategy: the interface every feedback-ordering method implements (the
+// "next action" problem of §1.2). A strategy looks at the database, the
+// current fusion output and the set of already-validated items, and returns
+// the next item(s) the user should validate.
+#ifndef VERITAS_CORE_STRATEGY_H_
+#define VERITAS_CORE_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "fusion/fusion_model.h"
+#include "fusion/fusion_result.h"
+#include "fusion/priors.h"
+#include "model/database.h"
+#include "model/ground_truth.h"
+#include "model/item_graph.h"
+#include "util/rng.h"
+
+namespace veritas {
+
+/// Everything a strategy may consult when choosing the next action.
+/// Pointers that a given strategy does not need may be null (see each
+/// strategy's documentation); `db`, `fusion` and `priors` are always set.
+struct StrategyContext {
+  const Database* db = nullptr;
+  const FusionResult* fusion = nullptr;  ///< Current fusion output <P, A>.
+  const PriorSet* priors = nullptr;      ///< Validated items (excluded).
+  const FusionModel* model = nullptr;    ///< For lookahead (MEU, GUB).
+  const FusionOptions* fusion_opts = nullptr;
+  const GroundTruth* ground_truth = nullptr;  ///< Only for GUB.
+  const ItemGraph* graph = nullptr;           ///< For Approx-MEU.
+  Rng* rng = nullptr;                         ///< For Random.
+  /// When true, items with a single claim are also candidates (the paper's
+  /// worked example validates such an item; real experiments do not).
+  bool include_singletons = false;
+  /// When true (default), lookahead re-fusions (MEU, GUB) start from the
+  /// current accuracies instead of the initial ones — much faster, same
+  /// fixed point. The paper's worked example (Tables 4-6) cold-starts.
+  bool warm_start_lookahead = true;
+};
+
+/// Abstract feedback-ordering strategy.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Short identifier ("qbc", "meu", ...).
+  virtual std::string name() const = 0;
+
+  /// Clears per-session caches, if any. Called when a new session starts.
+  virtual void Reset() {}
+
+  /// Returns up to `batch` distinct unvalidated items to validate next,
+  /// best first. Returns fewer (possibly zero) items when candidates run out.
+  virtual std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
+                                          std::size_t batch) = 0;
+
+  /// Single-action convenience: the best next item, or kInvalidItem.
+  ItemId SelectNext(const StrategyContext& ctx);
+};
+
+/// The action space Theta: unvalidated items (conflicting only, unless
+/// ctx.include_singletons).
+std::vector<ItemId> CandidateItems(const StrategyContext& ctx);
+
+/// Picks the `k` highest-scoring candidates (ties broken by lower item id,
+/// deterministically). `scores` is parallel to `candidates`.
+std::vector<ItemId> TopKByScore(const std::vector<ItemId>& candidates,
+                                const std::vector<double>& scores,
+                                std::size_t k);
+
+/// Vote entropy of an item (Eq. 3 over the Eq. 5 vote shares) — the QBC
+/// score, also used by the hybrid Approx-MEU_k filter.
+double VoteEntropy(const Database& db, ItemId item);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_STRATEGY_H_

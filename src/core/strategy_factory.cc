@@ -1,0 +1,60 @@
+#include "core/strategy_factory.h"
+
+#include <cstdlib>
+
+#include "core/approx_meu.h"
+#include "core/gub.h"
+#include "core/hybrid.h"
+#include "core/meu.h"
+#include "core/qbc.h"
+#include "core/random_strategy.h"
+#include "core/sequential_meu.h"
+#include "core/us.h"
+#include "util/strings.h"
+
+namespace veritas {
+
+Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name) {
+  if (name == "random") {
+    return std::unique_ptr<Strategy>(new RandomStrategy());
+  }
+  if (name == "qbc") {
+    return std::unique_ptr<Strategy>(new QbcStrategy());
+  }
+  if (name == "us") {
+    return std::unique_ptr<Strategy>(new UsStrategy());
+  }
+  if (name == "meu") {
+    return std::unique_ptr<Strategy>(new MeuStrategy());
+  }
+  if (name == "approx_meu") {
+    return std::unique_ptr<Strategy>(new ApproxMeuStrategy());
+  }
+  if (name == "meu2") {
+    return std::unique_ptr<Strategy>(new SequentialMeuStrategy());
+  }
+  if (name == "gub") {
+    return std::unique_ptr<Strategy>(new GubStrategy(GubMode::kOracle));
+  }
+  if (name == "gub_expectation") {
+    return std::unique_ptr<Strategy>(new GubStrategy(GubMode::kExpectation));
+  }
+  if (StartsWith(name, "approx_meu_k:")) {
+    const std::string arg = name.substr(std::string("approx_meu_k:").size());
+    char* end = nullptr;
+    const double k = std::strtod(arg.c_str(), &end);
+    if (end == arg.c_str() || *end != '\0' || k <= 0.0 || k > 100.0) {
+      return Status::InvalidArgument("bad approx_meu_k percentage: " + arg);
+    }
+    return std::unique_ptr<Strategy>(new ApproxMeuKStrategy(k));
+  }
+  return Status::NotFound("unknown strategy: " + name);
+}
+
+std::vector<std::string> StrategyNames() {
+  return {"random",          "qbc", "us",
+          "meu",             "meu2", "approx_meu",
+          "approx_meu_k:10", "gub",  "gub_expectation"};
+}
+
+}  // namespace veritas

@@ -1,0 +1,24 @@
+// Construction of strategies by name, for command-line experiment tools.
+#ifndef VERITAS_CORE_STRATEGY_FACTORY_H_
+#define VERITAS_CORE_STRATEGY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Creates a strategy from its name: "random", "qbc", "us", "meu",
+/// "approx_meu", "approx_meu_k:<percent>", "gub", "gub_expectation".
+/// Unknown names yield NotFound.
+Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name);
+
+/// Representative names accepted by MakeStrategy.
+std::vector<std::string> StrategyNames();
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_STRATEGY_FACTORY_H_

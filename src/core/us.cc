@@ -1,0 +1,14 @@
+#include "core/us.h"
+
+namespace veritas {
+
+std::vector<ItemId> UsStrategy::SelectBatch(const StrategyContext& ctx,
+                                            std::size_t batch) {
+  const std::vector<ItemId> candidates = CandidateItems(ctx);
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (ItemId i : candidates) scores.push_back(ctx.fusion->ItemEntropy(i));
+  return TopKByScore(candidates, scores, batch);
+}
+
+}  // namespace veritas

@@ -1,0 +1,23 @@
+// US — Uncertainty Sampling (§4.1.2): ranks items by the entropy of the
+// fusion system's output distribution (Eq. 3 over the p_i^k output by F).
+// Unlike QBC it reflects source accuracies, but needs fresh fusion output
+// after every validation.
+#ifndef VERITAS_CORE_US_H_
+#define VERITAS_CORE_US_H_
+
+#include "core/strategy.h"
+
+namespace veritas {
+
+/// Uncertainty-based item-level ranking over the fusion output.
+class UsStrategy : public Strategy {
+ public:
+  std::string name() const override { return "us"; }
+
+  std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
+                                  std::size_t batch) override;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_US_H_

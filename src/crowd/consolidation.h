@@ -1,0 +1,88 @@
+// Consolidation of conflicting worker answers into a claim distribution
+// (the "crowdsourcing system" the paper plugs in front of its framework,
+// §4.4): majority voting and a Dawid-Skene-style EM estimator that jointly
+// infers worker accuracies and item labels (the [34]/[9] line of work the
+// paper cites).
+#ifndef VERITAS_CROWD_CONSOLIDATION_H_
+#define VERITAS_CROWD_CONSOLIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/oracle.h"
+#include "crowd/worker_pool.h"
+#include "model/database.h"
+
+namespace veritas {
+
+/// All answers collected for one item.
+struct ItemAnswers {
+  ItemId item = kInvalidItem;
+  std::size_t num_claims = 0;
+  std::vector<WorkerAnswer> answers;
+};
+
+/// Majority-vote consolidation: the distribution of worker answers,
+/// normalized (the "counting" mechanism of §4.4(3)). Items with no answers
+/// yield the uniform distribution.
+std::vector<double> ConsolidateByMajority(const ItemAnswers& answers);
+
+/// Options of the EM consolidator.
+struct EmConsolidationOptions {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-6;
+  /// Initial worker accuracy estimate.
+  double initial_accuracy = 0.8;
+  /// Laplace smoothing added to accuracy estimates so one-answer workers do
+  /// not saturate at 0/1.
+  double smoothing = 1.0;
+};
+
+/// Joint estimate from EM consolidation.
+struct EmConsolidation {
+  /// Per item (parallel to the input), the posterior label distribution.
+  std::vector<std::vector<double>> item_distributions;
+  /// Estimated per-worker accuracies.
+  std::vector<double> worker_accuracies;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Dawid-Skene-style EM over a batch of items: alternates between
+/// (E) posterior label distributions from current worker accuracies, and
+/// (M) worker accuracies from current posteriors — the single-confusion-
+/// parameter variant that matches this library's accuracy model.
+EmConsolidation ConsolidateByEm(const std::vector<ItemAnswers>& items,
+                                std::size_t num_workers,
+                                const EmConsolidationOptions& options = {});
+
+/// A FeedbackOracle that simulates the full §4.4 crowd pipeline: ask a
+/// worker pool, consolidate, and pin the consolidated distribution.
+class CrowdOracle : public FeedbackOracle {
+ public:
+  /// How answers are consolidated.
+  enum class Mode { kMajority, kEm };
+
+  /// The pool must outlive the oracle. EM mode consolidates each item
+  /// against the accumulated answer history, so worker accuracy estimates
+  /// sharpen as the session progresses.
+  CrowdOracle(WorkerPool* pool, Mode mode);
+
+  std::string name() const override;
+
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+
+  /// Answer history (for tests/diagnostics).
+  const std::vector<ItemAnswers>& history() const { return history_; }
+
+ private:
+  WorkerPool* pool_;
+  Mode mode_;
+  std::vector<ItemAnswers> history_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CROWD_CONSOLIDATION_H_

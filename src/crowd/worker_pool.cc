@@ -1,0 +1,55 @@
+#include "crowd/worker_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/math.h"
+
+namespace veritas {
+
+WorkerPool::WorkerPool(const WorkerPoolConfig& config)
+    : answers_per_item_(config.answers_per_item), rng_(config.seed) {
+  assert(config.num_workers > 0);
+  accuracies_.resize(config.num_workers);
+  for (double& a : accuracies_) {
+    a = Clamp(rng_.Normal(config.accuracy_mean, config.accuracy_sd), 0.05,
+              0.99);
+  }
+  answer_counts_.assign(config.num_workers, 0);
+}
+
+std::vector<WorkerAnswer> WorkerPool::Ask(const Database& db, ItemId item,
+                                          const GroundTruth& truth) {
+  assert(truth.Knows(item) && "WorkerPool::Ask requires known truth");
+  const std::size_t n_claims = db.num_claims(item);
+  const ClaimIndex true_claim = truth.TrueClaim(item);
+
+  // Sample distinct workers (partial Fisher-Yates over worker ids).
+  std::vector<WorkerId> ids(num_workers());
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::size_t take = std::min(answers_per_item_, ids.size());
+  std::vector<WorkerAnswer> answers;
+  answers.reserve(take);
+  for (std::size_t t = 0; t < take; ++t) {
+    const std::size_t pick = t + rng_.UniformIndex(ids.size() - t);
+    std::swap(ids[t], ids[pick]);
+    const WorkerId worker = ids[t];
+    ++answer_counts_[worker];
+    WorkerAnswer answer;
+    answer.worker = worker;
+    if (n_claims <= 1 || rng_.Bernoulli(accuracies_[worker])) {
+      answer.claim = true_claim;
+    } else {
+      // Uniform wrong claim.
+      ClaimIndex wrong =
+          static_cast<ClaimIndex>(rng_.UniformIndex(n_claims - 1));
+      if (wrong >= true_claim) ++wrong;
+      answer.claim = wrong;
+    }
+    answers.push_back(answer);
+  }
+  return answers;
+}
+
+}  // namespace veritas

@@ -1,0 +1,74 @@
+// Simulated crowd of workers (paper §4.4). The paper assumes "the
+// crowdsourcing system processes conflicting answers from workers and
+// provides the most accurate label"; this module builds that system:
+// a pool of workers with latent accuracies who answer validation requests,
+// plus consolidation algorithms (majority vote and Dawid-Skene-style EM)
+// that turn raw worker answers into the claim distribution pinned into
+// fusion.
+#ifndef VERITAS_CROWD_WORKER_POOL_H_
+#define VERITAS_CROWD_WORKER_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "model/ground_truth.h"
+#include "util/rng.h"
+
+namespace veritas {
+
+/// Index of a worker in a WorkerPool.
+using WorkerId = std::uint32_t;
+
+/// One worker's answer to "which claim of this item is true?".
+struct WorkerAnswer {
+  WorkerId worker = 0;
+  ClaimIndex claim = kInvalidClaim;
+};
+
+/// Configuration of a simulated crowd.
+struct WorkerPoolConfig {
+  std::size_t num_workers = 20;
+  /// Latent worker accuracy ~ N(mean, sd), clamped to [0.05, 0.99].
+  double accuracy_mean = 0.8;
+  double accuracy_sd = 0.1;
+  /// Workers asked per item (sampled without replacement).
+  std::size_t answers_per_item = 5;
+  std::uint64_t seed = 42;
+};
+
+/// A pool of simulated workers with latent accuracies. A worker answers the
+/// true claim with probability equal to its accuracy and a uniformly random
+/// wrong claim otherwise.
+class WorkerPool {
+ public:
+  explicit WorkerPool(const WorkerPoolConfig& config);
+
+  std::size_t num_workers() const { return accuracies_.size(); }
+
+  /// Latent accuracy of a worker (hidden from consolidation algorithms;
+  /// exposed for tests and diagnostics).
+  double true_accuracy(WorkerId worker) const { return accuracies_[worker]; }
+
+  /// Collects `config.answers_per_item` answers for `item` from distinct
+  /// random workers. Requires known ground truth for the item.
+  std::vector<WorkerAnswer> Ask(const Database& db, ItemId item,
+                                const GroundTruth& truth);
+
+  /// Number of answers each worker has given so far (for §4.4-style
+  /// analyses of worker load).
+  const std::vector<std::size_t>& answer_counts() const {
+    return answer_counts_;
+  }
+
+ private:
+  std::vector<double> accuracies_;
+  std::vector<std::size_t> answer_counts_;
+  std::size_t answers_per_item_;
+  Rng rng_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CROWD_WORKER_POOL_H_

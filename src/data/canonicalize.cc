@@ -1,0 +1,136 @@
+#include "data/canonicalize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "model/database_builder.h"
+
+namespace veritas {
+
+namespace {
+
+bool IsDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::optional<double> ParseClockTime(const std::string& value) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= value.size()) {
+    return std::nullopt;
+  }
+  const std::string hours = value.substr(0, colon);
+  const std::string minutes = value.substr(colon + 1);
+  if (!IsDigits(hours) || !IsDigits(minutes) || minutes.size() != 2 ||
+      hours.size() > 2) {
+    return std::nullopt;
+  }
+  const int h = std::atoi(hours.c_str());
+  const int m = std::atoi(minutes.c_str());
+  if (h > 23 || m > 59) return std::nullopt;
+  return static_cast<double>(h * 60 + m);
+}
+
+std::optional<double> ParsePlainNumber(const std::string& value) {
+  if (value.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size()) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace
+
+std::optional<double> ParseNumericValue(const std::string& value,
+                                        bool parse_clock_times) {
+  if (parse_clock_times) {
+    const auto clock = ParseClockTime(value);
+    if (clock.has_value()) return clock;
+  }
+  return ParsePlainNumber(value);
+}
+
+Result<CanonicalizeReport> CanonicalizeValues(
+    const Database& db, const CanonicalizeOptions& options) {
+  if (options.numeric_tolerance < 0.0) {
+    return Status::InvalidArgument("numeric_tolerance must be >= 0");
+  }
+  DatabaseBuilder builder;
+  CanonicalizeReport report;
+
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const Item& item = db.item(i);
+    // Partition claims into numeric (parsed) and literal.
+    struct NumericClaim {
+      double parsed;
+      ClaimIndex claim;
+    };
+    std::vector<NumericClaim> numeric;
+    for (ClaimIndex k = 0; k < item.claims.size(); ++k) {
+      const auto parsed = ParseNumericValue(item.claims[k].value,
+                                            options.parse_clock_times);
+      if (parsed.has_value()) {
+        numeric.push_back(NumericClaim{*parsed, k});
+      }
+    }
+    if (!numeric.empty()) ++report.numeric_items;
+
+    // Single-linkage clustering of numeric claims: sort, split where the
+    // adjacent gap exceeds the tolerance.
+    std::sort(numeric.begin(), numeric.end(),
+              [](const NumericClaim& a, const NumericClaim& b) {
+                return a.parsed < b.parsed;
+              });
+    // canonical_of[k] = representative value for claim k.
+    std::vector<std::string> canonical_of(item.claims.size());
+    for (ClaimIndex k = 0; k < item.claims.size(); ++k) {
+      canonical_of[k] = item.claims[k].value;  // Default: itself.
+    }
+    std::size_t start = 0;
+    while (start < numeric.size()) {
+      std::size_t end = start + 1;
+      while (end < numeric.size() &&
+             numeric[end].parsed - numeric[end - 1].parsed <=
+                 options.numeric_tolerance) {
+        ++end;
+      }
+      if (end - start > 1) {
+        // Representative: the most-voted raw value in the cluster
+        // (ties: the smallest parsed value).
+        std::size_t best = start;
+        for (std::size_t c = start; c < end; ++c) {
+          if (item.claims[numeric[c].claim].sources.size() >
+              item.claims[numeric[best].claim].sources.size()) {
+            best = c;
+          }
+        }
+        const std::string& representative =
+            item.claims[numeric[best].claim].value;
+        for (std::size_t c = start; c < end; ++c) {
+          canonical_of[numeric[c].claim] = representative;
+        }
+        report.merged_claims += (end - start) - 1;
+      }
+      start = end;
+    }
+
+    // Re-emit observations under canonical values. A source that voted for
+    // two raw values mapping to the same canonical value collapses to one
+    // vote (AddObservation is idempotent on identical values, and two
+    // different canonical values from one source cannot happen since the
+    // source voted once per item).
+    for (const ItemVote& vote : db.item_votes(i)) {
+      VERITAS_RETURN_IF_ERROR(builder.AddObservation(
+          db.source(vote.source).name, item.name, canonical_of[vote.claim]));
+    }
+  }
+  report.db = builder.Build();
+  return report;
+}
+
+}  // namespace veritas

@@ -1,0 +1,54 @@
+// Claim-value canonicalization — the paper's data-wrangling step for the
+// flights snapshots: "We permit slightly different reported values (to a
+// maximum difference of 10 minutes) in flight times that might have arisen
+// due to slight lag in updates" (§5, Datasets).
+//
+// Values that parse as numbers (plain numerals or HH:MM clock times) are
+// clustered per item with single-linkage at a configurable tolerance; each
+// cluster becomes one claim whose representative is the most-voted raw
+// value. Non-numeric values keep exact-string identity.
+#ifndef VERITAS_DATA_CANONICALIZE_H_
+#define VERITAS_DATA_CANONICALIZE_H_
+
+#include <optional>
+#include <string>
+
+#include "model/database.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Canonicalization knobs.
+struct CanonicalizeOptions {
+  /// Two parsed values belong to the same cluster when a chain of values
+  /// with adjacent gaps <= tolerance connects them (single linkage). For
+  /// HH:MM values the unit is minutes; for plain numbers it is the raw
+  /// numeric difference. The paper's flights preprocessing uses 10.
+  double numeric_tolerance = 10.0;
+  /// Parse "HH:MM" / "H:MM" clock strings as minutes since midnight.
+  bool parse_clock_times = true;
+};
+
+/// Parses a value as a number: plain numerals ("-3", "42.5") always;
+/// "HH:MM" clock times (as minutes) when `parse_clock_times`. Returns
+/// nullopt for anything else.
+std::optional<double> ParseNumericValue(const std::string& value,
+                                        bool parse_clock_times);
+
+/// Per-database canonicalization report.
+struct CanonicalizeReport {
+  Database db;                  ///< The rebuilt database.
+  std::size_t merged_claims = 0;  ///< Claims removed by merging.
+  std::size_t numeric_items = 0;  ///< Items with >= 1 parsed numeric value.
+};
+
+/// Rebuilds `db` with per-item numeric claims merged under `options`.
+/// Sources voting for merged claims end up voting for the cluster
+/// representative; if a source voted for two values that merge, the votes
+/// collapse into one.
+Result<CanonicalizeReport> CanonicalizeValues(
+    const Database& db, const CanonicalizeOptions& options = {});
+
+}  // namespace veritas
+
+#endif  // VERITAS_DATA_CANONICALIZE_H_

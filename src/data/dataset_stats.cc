@@ -1,0 +1,46 @@
+#include "data/dataset_stats.h"
+
+namespace veritas {
+
+DatasetStats ComputeStats(const Database& db) {
+  DatasetStats s;
+  s.items = db.num_items();
+  s.sources = db.num_sources();
+  s.observations = db.num_observations();
+  s.distinct_claims = db.num_claims();
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (db.HasConflict(i)) ++s.conflicting_items;
+  }
+  if (s.items > 0 && s.sources > 0) {
+    s.density = static_cast<double>(s.observations) /
+                (static_cast<double>(s.items) * static_cast<double>(s.sources));
+  }
+  if (s.items > 0) {
+    s.avg_claims_per_item =
+        static_cast<double>(s.distinct_claims) / static_cast<double>(s.items);
+    s.avg_votes_per_item =
+        static_cast<double>(s.observations) / static_cast<double>(s.items);
+  }
+  return s;
+}
+
+std::vector<double> SourceCoverages(const Database& db) {
+  std::vector<double> out(db.num_sources(), 0.0);
+  if (db.num_items() == 0) return out;
+  for (SourceId j = 0; j < db.num_sources(); ++j) {
+    out[j] = static_cast<double>(db.source_degree(j)) /
+             static_cast<double>(db.num_items());
+  }
+  return out;
+}
+
+double CoverageBelow(const Database& db, double threshold) {
+  if (db.num_sources() == 0) return 0.0;
+  std::size_t below = 0;
+  for (double c : SourceCoverages(db)) {
+    if (c < threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(db.num_sources());
+}
+
+}  // namespace veritas

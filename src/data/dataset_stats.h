@@ -1,0 +1,39 @@
+// Dataset characterization: the Table 10 statistics and the Figure 8
+// long-tail coverage analysis.
+#ifndef VERITAS_DATA_DATASET_STATS_H_
+#define VERITAS_DATA_DATASET_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/database.h"
+
+namespace veritas {
+
+/// Table 10-style statistics of a database.
+struct DatasetStats {
+  std::size_t items = 0;
+  std::size_t sources = 0;
+  std::size_t observations = 0;       ///< |Psi| (votes).
+  std::size_t distinct_claims = 0;    ///< sum_i |V_i|.
+  std::size_t conflicting_items = 0;  ///< Items with >= 2 claims.
+  double density = 0.0;               ///< |Psi| / (|O| * |S|).
+  double avg_claims_per_item = 0.0;   ///< kappa.
+  double avg_votes_per_item = 0.0;
+};
+
+/// Computes Table 10-style statistics.
+DatasetStats ComputeStats(const Database& db);
+
+/// Per-source coverage: fraction of all items each source votes on
+/// (the x-axis material of Figure 8).
+std::vector<double> SourceCoverages(const Database& db);
+
+/// Fraction of sources whose coverage is strictly below `threshold`
+/// (e.g. "90% of sources provide information on fewer than 4% of items"
+/// reads CoverageBelow(db, 0.04) >= 0.9).
+double CoverageBelow(const Database& db, double threshold);
+
+}  // namespace veritas
+
+#endif  // VERITAS_DATA_DATASET_STATS_H_

@@ -1,0 +1,73 @@
+#include "data/example_data.h"
+
+#include <cassert>
+
+#include "model/database_builder.h"
+
+namespace veritas {
+
+Database MakeMovieDatabase() {
+  DatabaseBuilder builder;
+  // Observations in an order that yields the paper's claim numbering: the
+  // first-listed claim of each item in Table 3 is claim 0.
+  struct Row {
+    const char* source;
+    const char* item;
+    const char* value;
+  };
+  static constexpr Row kRows[] = {
+      // O1 Zootopia: claims Howard (S2), Spencer (S3, S4).
+      {"S2", "Zootopia", "Howard"},
+      {"S3", "Zootopia", "Spencer"},
+      {"S4", "Zootopia", "Spencer"},
+      // O2 Kung Fu Panda: claims Stevenson (S1), Nelson (S3).
+      {"S1", "Kung Fu Panda", "Stevenson"},
+      {"S3", "Kung Fu Panda", "Nelson"},
+      // O3 Inside Out: claims Docter (S3), leFauve (S2) — Table 3 lists
+      // Docter first.
+      {"S3", "Inside Out", "Docter"},
+      {"S2", "Inside Out", "leFauve"},
+      // O4 Finding Dory: single claim Stanton (S4).
+      {"S4", "Finding Dory", "Stanton"},
+      // O5 Minions: claims Coffin (S1), Renaud (S2).
+      {"S1", "Minions", "Coffin"},
+      {"S2", "Minions", "Renaud"},
+      // O6 Rio: claims Saldanha (S3), Jones (S1) — Table 3 lists Saldanha
+      // first.
+      {"S3", "Rio", "Saldanha"},
+      {"S1", "Rio", "Jones"},
+  };
+  for (const Row& row : kRows) {
+    const Status st = builder.AddObservation(row.source, row.item, row.value);
+    assert(st.ok());
+    (void)st;
+  }
+  return builder.Build();
+}
+
+FusionOptions PaperExampleFusionOptions() {
+  FusionOptions opts;
+  opts.max_iterations = 5;
+  return opts;
+}
+
+GroundTruth MakeMovieGroundTruth(const Database& db) {
+  GroundTruth truth(db);
+  struct Entry {
+    const char* item;
+    const char* value;
+  };
+  static constexpr Entry kTruths[] = {
+      {"Zootopia", "Howard"},     {"Kung Fu Panda", "Stevenson"},
+      {"Inside Out", "Docter"},   {"Finding Dory", "Stanton"},
+      {"Minions", "Coffin"},      {"Rio", "Saldanha"},
+  };
+  for (const Entry& e : kTruths) {
+    const Status st = truth.SetByValue(db, e.item, e.value);
+    assert(st.ok());
+    (void)st;
+  }
+  return truth;
+}
+
+}  // namespace veritas

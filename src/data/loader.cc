@@ -1,0 +1,94 @@
+#include "data/loader.h"
+
+#include "model/database_builder.h"
+#include "util/csv.h"
+
+namespace veritas {
+
+namespace {
+
+bool IsObservationHeader(const CsvRow& row) {
+  return row.size() == 3 && row[0] == "source" && row[1] == "item" &&
+         row[2] == "value";
+}
+
+bool IsTruthHeader(const CsvRow& row) {
+  return row.size() == 2 && row[0] == "item" && row[1] == "value";
+}
+
+}  // namespace
+
+Result<Database> LoadObservations(const std::string& path) {
+  VERITAS_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ReadCsvFile(path));
+  DatabaseBuilder builder;
+  std::size_t line = 0;
+  for (const CsvRow& row : rows) {
+    ++line;
+    if (line == 1 && IsObservationHeader(row)) continue;
+    if (row.size() != 3) {
+      return Status::InvalidArgument(
+          path + ": observation row " + std::to_string(line) +
+          " must have 3 fields (source,item,value), got " +
+          std::to_string(row.size()));
+    }
+    VERITAS_RETURN_IF_ERROR(builder.AddObservation(row[0], row[1], row[2]));
+  }
+  return builder.Build();
+}
+
+Result<TruthLoadReport> LoadGroundTruth(const std::string& path,
+                                        const Database& db) {
+  VERITAS_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ReadCsvFile(path));
+  TruthLoadReport report;
+  report.truth = GroundTruth(db);
+  std::size_t line = 0;
+  for (const CsvRow& row : rows) {
+    ++line;
+    if (line == 1 && IsTruthHeader(row)) continue;
+    if (row.size() != 2) {
+      return Status::InvalidArgument(path + ": truth row " +
+                                     std::to_string(line) +
+                                     " must have 2 fields (item,value)");
+    }
+    const auto item = db.FindItem(row[0]);
+    if (!item.ok()) {
+      ++report.unknown_item;
+      continue;
+    }
+    const auto claim = db.FindClaim(item.value(), row[1]);
+    if (!claim.ok()) {
+      ++report.unknown_claim;
+      continue;
+    }
+    VERITAS_RETURN_IF_ERROR(report.truth.Set(db, item.value(), claim.value()));
+    ++report.applied;
+  }
+  return report;
+}
+
+Status SaveObservations(const Database& db, const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"source", "item", "value"});
+  for (SourceId j = 0; j < db.num_sources(); ++j) {
+    const Source& s = db.source(j);
+    for (const Vote& v : s.votes) {
+      rows.push_back(
+          {s.name, db.item(v.item).name, db.item(v.item).claims[v.claim].value});
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Status SaveGroundTruth(const Database& db, const GroundTruth& truth,
+                       const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"item", "value"});
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const ClaimIndex t = truth.TrueClaim(i);
+    if (t == kInvalidClaim) continue;
+    rows.push_back({db.item(i).name, db.item(i).claims[t].value});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace veritas

@@ -1,0 +1,47 @@
+// Dataset I/O: plug real datasets into Veritas.
+//
+// Observation files are CSV with rows `source,item,value` (header optional —
+// a first row exactly equal to "source,item,value" is skipped). Ground-truth
+// files are CSV with rows `item,value`. Lines starting with '#' and blank
+// lines are ignored. This is the layout the paper's Books/Flights/Population
+// snapshots are conventionally distributed in (triple files plus a
+// gold/silver standard).
+#ifndef VERITAS_DATA_LOADER_H_
+#define VERITAS_DATA_LOADER_H_
+
+#include <string>
+
+#include "model/database.h"
+#include "model/ground_truth.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Statistics of a ground-truth load (silver standards are partial and may
+/// reference values no source provided).
+struct TruthLoadReport {
+  GroundTruth truth;
+  std::size_t applied = 0;        ///< Rows successfully applied.
+  std::size_t unknown_item = 0;   ///< Rows naming an item not in the db.
+  std::size_t unknown_claim = 0;  ///< Rows naming a value no source claims.
+};
+
+/// Loads a database from an observation CSV file.
+Result<Database> LoadObservations(const std::string& path);
+
+/// Loads ground truth for `db` from a truth CSV file. Rows that do not match
+/// the database are counted, not fatal (silver standards are noisy).
+Result<TruthLoadReport> LoadGroundTruth(const std::string& path,
+                                        const Database& db);
+
+/// Writes the observations of `db` as a CSV file (round-trips with
+/// LoadObservations).
+Status SaveObservations(const Database& db, const std::string& path);
+
+/// Writes known truths as a CSV file (round-trips with LoadGroundTruth).
+Status SaveGroundTruth(const Database& db, const GroundTruth& truth,
+                       const std::string& path);
+
+}  // namespace veritas
+
+#endif  // VERITAS_DATA_LOADER_H_

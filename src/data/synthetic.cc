@@ -1,0 +1,263 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "model/database_builder.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace veritas {
+
+namespace {
+
+std::string ItemName(std::size_t i) { return "item" + std::to_string(i); }
+std::string SourceName(std::size_t j) { return "src" + std::to_string(j); }
+
+// Accuracies drawn from N(mean, sd), clamped away from 0/1 so the generated
+// data stays informative.
+std::vector<double> DrawAccuracies(std::size_t n, double mean, double sd,
+                                   Rng* rng) {
+  std::vector<double> out(n);
+  for (double& a : out) a = Clamp(rng->Normal(mean, sd), 0.05, 0.99);
+  return out;
+}
+
+// Draws the value an independent source reports for an item: the true value
+// with probability `accuracy`, otherwise a uniformly chosen false value.
+std::string DrawValue(std::size_t item, double accuracy,
+                      std::size_t max_false_claims, Rng* rng) {
+  if (max_false_claims == 0 || rng->Bernoulli(accuracy)) {
+    return SyntheticTrueValue(item);
+  }
+  return SyntheticFalseValue(item, rng->UniformIndex(max_false_claims));
+}
+
+// Assignment of copier sources to independent parents. Copiers replicate
+// their parent's claims wherever the parent voted — the error-correlation
+// mechanism behind the confidently-wrong items of real fused data.
+struct CopyPlan {
+  std::size_t num_independent = 0;
+  // parent[j] is the parent of source j (only meaningful for copiers,
+  // j >= num_independent).
+  std::vector<std::size_t> parent;
+  // Recorded votes (item -> value) of every source that acts as a parent.
+  std::unordered_map<std::size_t,
+                     std::unordered_map<std::size_t, std::string>>
+      parent_votes;
+
+  bool IsCopier(std::size_t source) const { return source >= num_independent; }
+};
+
+CopyPlan MakeCopyPlan(std::size_t num_sources, double copier_fraction,
+                      Rng* rng) {
+  CopyPlan plan;
+  std::size_t copiers = static_cast<std::size_t>(
+      std::floor(copier_fraction * static_cast<double>(num_sources)));
+  copiers = std::min(copiers, num_sources - 1);  // Keep >= 1 independent.
+  plan.num_independent = num_sources - copiers;
+  plan.parent.assign(num_sources, 0);
+  for (std::size_t j = plan.num_independent; j < num_sources; ++j) {
+    plan.parent[j] = rng->UniformIndex(plan.num_independent);
+    plan.parent_votes.emplace(plan.parent[j],
+                              std::unordered_map<std::size_t, std::string>());
+  }
+  return plan;
+}
+
+// Emits one vote for (source, item): copiers replay the parent's value when
+// available, everyone else draws independently. Parents record their votes.
+void EmitVote(DatabaseBuilder* builder, CopyPlan* plan, std::size_t source,
+              std::size_t item, double accuracy,
+              std::size_t max_false_claims, Rng* rng) {
+  std::string value;
+  bool copied = false;
+  if (plan->IsCopier(source)) {
+    const auto parent_it = plan->parent_votes.find(plan->parent[source]);
+    if (parent_it != plan->parent_votes.end()) {
+      const auto vote_it = parent_it->second.find(item);
+      if (vote_it != parent_it->second.end()) {
+        value = vote_it->second;
+        copied = true;
+      }
+    }
+  }
+  if (!copied) {
+    value = DrawValue(item, accuracy, max_false_claims, rng);
+  }
+  auto recorder = plan->parent_votes.find(source);
+  if (recorder != plan->parent_votes.end()) {
+    recorder->second.emplace(item, value);
+  }
+  const Status st =
+      builder->AddObservation(SourceName(source), ItemName(item), value);
+  assert(st.ok());
+  (void)st;
+}
+
+// Ensures every item exists in the builder with at least one vote, and
+// (optionally) that the true value appears among the claims.
+void PatchCoverage(DatabaseBuilder* builder, std::size_t num_items,
+                   std::size_t num_sources, bool ensure_true_claim, Rng* rng) {
+  const Database snapshot = builder->Build();
+  for (std::size_t i = 0; i < num_items; ++i) {
+    const auto found = snapshot.FindItem(ItemName(i));
+    bool needs_true = ensure_true_claim;
+    if (found.ok()) {
+      if (needs_true) {
+        needs_true =
+            !snapshot.FindClaim(found.value(), SyntheticTrueValue(i)).ok();
+      }
+      if (!needs_true) continue;
+    }
+    // Give the item a truthful vote from a random source (retry a few times
+    // in case that source already voted falsely on the item).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::size_t j = rng->UniformIndex(num_sources);
+      const Status st = builder->AddObservation(
+          SourceName(j), ItemName(i), SyntheticTrueValue(i));
+      if (st.ok()) break;
+    }
+  }
+}
+
+// Builds the ground truth: every item whose true value appears among its
+// claims gets that claim marked true.
+GroundTruth BuildTruth(const Database& db) {
+  GroundTruth truth(db);
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    // Generated item names are "item<k>"; recover k to form the true value.
+    const std::string& name = db.item(i).name;
+    const std::size_t index = std::stoul(name.substr(4));
+    const auto claim = db.FindClaim(i, SyntheticTrueValue(index));
+    if (claim.ok()) {
+      const Status st = truth.Set(db, i, claim.value());
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return truth;
+}
+
+// A copier's effective accuracy is (mostly) its parent's: report that in
+// true_accuracies so tests comparing estimated vs true accuracies stay
+// meaningful.
+void InheritCopierAccuracies(const CopyPlan& plan,
+                             std::vector<double>* accuracies) {
+  for (std::size_t j = plan.num_independent; j < accuracies->size(); ++j) {
+    (*accuracies)[j] = (*accuracies)[plan.parent[j]];
+  }
+}
+
+}  // namespace
+
+std::string SyntheticTrueValue(std::size_t item_index) {
+  std::string out = "T";
+  out += std::to_string(item_index);
+  return out;
+}
+
+std::string SyntheticFalseValue(std::size_t item_index, std::size_t k) {
+  std::string out = "F";
+  out += std::to_string(item_index);
+  out += "_";
+  out += std::to_string(k);
+  return out;
+}
+
+SyntheticDataset GenerateDense(const DenseConfig& config) {
+  assert(config.num_items > 0 && config.num_sources > 0);
+  Rng rng(config.seed);
+  std::vector<double> accuracies = DrawAccuracies(
+      config.num_sources, config.accuracy_mean, config.accuracy_sd, &rng);
+  CopyPlan plan = MakeCopyPlan(config.num_sources, config.copier_fraction,
+                               &rng);
+
+  DatabaseBuilder builder;
+  for (std::size_t j = 0; j < config.num_sources; ++j) {
+    for (std::size_t i = 0; i < config.num_items; ++i) {
+      if (!rng.Bernoulli(config.density)) continue;
+      EmitVote(&builder, &plan, j, i, accuracies[j],
+               config.max_false_claims, &rng);
+    }
+  }
+  PatchCoverage(&builder, config.num_items, config.num_sources,
+                config.ensure_true_claim, &rng);
+  InheritCopierAccuracies(plan, &accuracies);
+
+  SyntheticDataset out;
+  out.db = builder.Build();
+  out.truth = BuildTruth(out.db);
+  out.true_accuracies = std::move(accuracies);
+  return out;
+}
+
+SyntheticDataset GenerateLongTail(const LongTailConfig& config) {
+  assert(config.num_items > 0 && config.num_sources > 0);
+  Rng rng(config.seed);
+  std::vector<double> accuracies = DrawAccuracies(
+      config.num_sources, config.accuracy_mean, config.accuracy_sd, &rng);
+  CopyPlan plan = MakeCopyPlan(config.num_sources, config.copier_fraction,
+                               &rng);
+
+  // Pareto coverage weights -> per-source vote counts summing (roughly) to
+  // the requested total budget.
+  std::vector<double> weights(config.num_sources);
+  for (double& w : weights) w = rng.Pareto(config.pareto_alpha);
+  const double weight_sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double total_votes =
+      config.avg_votes_per_item * static_cast<double>(config.num_items);
+  const std::size_t max_cov = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.max_coverage_fraction *
+                                  static_cast<double>(config.num_items)));
+
+  DatabaseBuilder builder;
+  std::vector<std::size_t> pool(config.num_items);
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<std::size_t> catalog;
+  for (std::size_t j = 0; j < config.num_sources; ++j) {
+    std::size_t cov = static_cast<std::size_t>(
+        std::llround(total_votes * weights[j] / weight_sum));
+    cov = std::min(std::max<std::size_t>(cov, 1), max_cov);
+    if (plan.IsCopier(j)) {
+      // Long-tail copiers replicate a slice of the parent's *catalog* (the
+      // items the parent covers), the way bookstore aggregators resell the
+      // same data feed — which is what concentrates correlated errors on
+      // the same items in the real Books/Population data.
+      const auto& parent_votes = plan.parent_votes.at(plan.parent[j]);
+      catalog.clear();
+      catalog.reserve(parent_votes.size());
+      for (const auto& [item, _] : parent_votes) catalog.push_back(item);
+      std::sort(catalog.begin(), catalog.end());  // Determinism.
+      rng.Shuffle(&catalog);
+      cov = std::min(cov, catalog.size());
+      for (std::size_t t = 0; t < cov; ++t) {
+        EmitVote(&builder, &plan, j, catalog[t], accuracies[j],
+                 config.max_false_claims, &rng);
+      }
+      continue;
+    }
+    // Partial Fisher-Yates: pick `cov` distinct items.
+    for (std::size_t t = 0; t < cov; ++t) {
+      const std::size_t swap_with = t + rng.UniformIndex(pool.size() - t);
+      std::swap(pool[t], pool[swap_with]);
+      EmitVote(&builder, &plan, j, pool[t], accuracies[j],
+               config.max_false_claims, &rng);
+    }
+  }
+  PatchCoverage(&builder, config.num_items, config.num_sources,
+                config.ensure_true_claim, &rng);
+  InheritCopierAccuracies(plan, &accuracies);
+
+  SyntheticDataset out;
+  out.db = builder.Build();
+  out.truth = BuildTruth(out.db);
+  out.true_accuracies = std::move(accuracies);
+  return out;
+}
+
+}  // namespace veritas

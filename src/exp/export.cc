@@ -1,0 +1,68 @@
+#include "exp/export.h"
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace veritas {
+
+Status WriteTraceCsv(const SessionTrace& trace, const Database& db,
+                     const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"step", "num_validated", "items", "distance",
+                  "uncertainty", "select_seconds", "fuse_seconds",
+                  "distance_reduction_pct", "uncertainty_reduction_pct"});
+  // Step 0: the unaided fusion baseline.
+  rows.push_back({"0", "0", "", FormatDouble(trace.initial_distance, 6),
+                  FormatDouble(trace.initial_uncertainty, 6), "0", "0", "0",
+                  "0"});
+  for (std::size_t s = 0; s < trace.steps.size(); ++s) {
+    const SessionStep& step = trace.steps[s];
+    std::vector<std::string> names;
+    names.reserve(step.items.size());
+    for (ItemId item : step.items) names.push_back(db.item(item).name);
+    rows.push_back({std::to_string(s + 1),
+                    std::to_string(step.num_validated), Join(names, "|"),
+                    FormatDouble(step.distance, 6),
+                    FormatDouble(step.uncertainty, 6),
+                    FormatDouble(step.select_seconds, 6),
+                    FormatDouble(step.fuse_seconds, 6),
+                    FormatDouble(trace.DistanceReductionPercent(s), 3),
+                    FormatDouble(trace.UncertaintyReductionPercent(s), 3)});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Status WriteCurvesCsv(const std::vector<CurveResult>& curves,
+                      const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"strategy", "fraction", "validated",
+                  "distance_reduction_pct", "uncertainty_reduction_pct",
+                  "mean_select_seconds"});
+  for (const CurveResult& curve : curves) {
+    for (const CurvePoint& point : curve.points) {
+      rows.push_back({curve.strategy, FormatDouble(point.fraction, 4),
+                      std::to_string(point.validated),
+                      FormatDouble(point.distance_reduction_pct, 3),
+                      FormatDouble(point.uncertainty_reduction_pct, 3),
+                      FormatDouble(curve.mean_select_seconds, 6)});
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Status WriteFusionCsv(const Database& db, const FusionResult& fusion,
+                      const std::string& path) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"item", "value", "probability", "winner"});
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    const ClaimIndex winner = fusion.WinningClaim(i);
+    for (ClaimIndex k = 0; k < db.num_claims(i); ++k) {
+      rows.push_back({db.item(i).name, db.item(i).claims[k].value,
+                      FormatDouble(fusion.prob(i, k), 6),
+                      k == winner ? "1" : "0"});
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace veritas

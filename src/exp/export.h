@@ -1,0 +1,36 @@
+// Export of experiment artifacts to CSV, so session traces and
+// effectiveness curves can be plotted or post-processed outside C++
+// (gnuplot, pandas, spreadsheets).
+#ifndef VERITAS_EXP_EXPORT_H_
+#define VERITAS_EXP_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "exp/harness.h"
+#include "util/status.h"
+
+namespace veritas {
+
+/// Writes a session trace as CSV:
+///   step,num_validated,items,distance,uncertainty,select_seconds,
+///   fuse_seconds,distance_reduction_pct,uncertainty_reduction_pct
+/// The `items` field joins the item names validated in the step with '|'.
+Status WriteTraceCsv(const SessionTrace& trace, const Database& db,
+                     const std::string& path);
+
+/// Writes a set of curves (one strategy each) as long-format CSV:
+///   strategy,fraction,validated,distance_reduction_pct,
+///   uncertainty_reduction_pct,mean_select_seconds
+Status WriteCurvesCsv(const std::vector<CurveResult>& curves,
+                      const std::string& path);
+
+/// Writes the final fusion output as CSV:
+///   item,value,probability,winner
+Status WriteFusionCsv(const Database& db, const FusionResult& fusion,
+                      const std::string& path);
+
+}  // namespace veritas
+
+#endif  // VERITAS_EXP_EXPORT_H_

@@ -1,0 +1,83 @@
+#include "exp/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/strategy_factory.h"
+#include "fusion/accu.h"
+#include "util/rng.h"
+
+namespace veritas {
+
+std::vector<CurvePoint> SampleCurve(const SessionTrace& trace,
+                                    std::size_t conflicting,
+                                    const std::vector<double>& fractions) {
+  std::vector<CurvePoint> points;
+  points.reserve(fractions.size());
+  for (double fraction : fractions) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(conflicting)));
+    CurvePoint point;
+    point.fraction = fraction;
+    // First step with at least `target` cumulative validations; if the trace
+    // ended earlier, sample its last step.
+    std::size_t idx = trace.steps.size();
+    for (std::size_t s = 0; s < trace.steps.size(); ++s) {
+      if (trace.steps[s].num_validated >= target) {
+        idx = s;
+        break;
+      }
+    }
+    if (trace.steps.empty()) {
+      points.push_back(point);
+      continue;
+    }
+    if (idx == trace.steps.size()) idx = trace.steps.size() - 1;
+    point.validated = trace.steps[idx].num_validated;
+    point.distance_reduction_pct = trace.DistanceReductionPercent(idx);
+    point.uncertainty_reduction_pct = trace.UncertaintyReductionPercent(idx);
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<CurveResult> RunCurve(const Database& db, const GroundTruth& truth,
+                             const FusionModel& model,
+                             const std::string& strategy_name,
+                             FeedbackOracle* oracle,
+                             const CurveOptions& options) {
+  VERITAS_ASSIGN_OR_RETURN(std::unique_ptr<Strategy> strategy,
+                           MakeStrategy(strategy_name));
+  const std::size_t conflicting = db.ConflictingItems().size();
+  double max_fraction = 0.0;
+  for (double f : options.report_fractions) {
+    max_fraction = std::max(max_fraction, f);
+  }
+  SessionOptions session = options.session;
+  const std::size_t budget = static_cast<std::size_t>(
+      std::ceil(max_fraction * static_cast<double>(conflicting)));
+  session.max_validations = std::min(session.max_validations, budget);
+
+  Rng rng(options.seed);
+  FeedbackSession feedback(db, model, strategy.get(), oracle, truth, session,
+                           &rng);
+  VERITAS_ASSIGN_OR_RETURN(SessionTrace trace, feedback.Run());
+
+  CurveResult result;
+  result.strategy = strategy_name;
+  result.mean_select_seconds = trace.MeanSelectSeconds();
+  result.points = SampleCurve(trace, conflicting, options.report_fractions);
+  result.trace = std::move(trace);
+  return result;
+}
+
+Result<CurveResult> RunCurvePerfect(const Database& db,
+                                    const GroundTruth& truth,
+                                    const FusionModel& model,
+                                    const std::string& strategy_name,
+                                    const CurveOptions& options) {
+  PerfectOracle oracle;
+  return RunCurve(db, truth, model, strategy_name, &oracle, options);
+}
+
+}  // namespace veritas

@@ -1,0 +1,68 @@
+// Shared experiment harness: runs a (strategy, oracle) pair through a
+// feedback session and samples the effectiveness curves at fixed fractions
+// of validated items — the raw material of every figure in §5.
+#ifndef VERITAS_EXP_HARNESS_H_
+#define VERITAS_EXP_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/session.h"
+#include "fusion/fusion_model.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Harness knobs.
+struct CurveOptions {
+  SessionOptions session;
+  /// Fractions of the *conflicting* items at which the curves are sampled;
+  /// the largest fraction bounds the validation budget.
+  std::vector<double> report_fractions = {0.01, 0.02, 0.05, 0.10,
+                                          0.15, 0.20};
+  /// Seed for the Rng handed to strategy and oracle.
+  std::uint64_t seed = 42;
+};
+
+/// One sampled point of an effectiveness curve.
+struct CurvePoint {
+  double fraction = 0.0;        ///< Requested fraction of conflicting items.
+  std::size_t validated = 0;    ///< Items actually validated at this point.
+  double distance_reduction_pct = 0.0;     ///< Figure 3 y-axis.
+  double uncertainty_reduction_pct = 0.0;  ///< Figure 4 y-axis.
+};
+
+/// A full run of one strategy on one dataset.
+struct CurveResult {
+  std::string strategy;
+  SessionTrace trace;
+  std::vector<CurvePoint> points;
+  double mean_select_seconds = 0.0;  ///< Table 11/12 column.
+};
+
+/// Runs `strategy_name` (see MakeStrategy) with `oracle` on (db, truth) and
+/// samples the curves. The validation budget is
+/// ceil(max(report_fractions) * #conflicting items), further capped by
+/// options.session.max_validations.
+Result<CurveResult> RunCurve(const Database& db, const GroundTruth& truth,
+                             const FusionModel& model,
+                             const std::string& strategy_name,
+                             FeedbackOracle* oracle,
+                             const CurveOptions& options);
+
+/// Convenience: RunCurve with a PerfectOracle.
+Result<CurveResult> RunCurvePerfect(const Database& db,
+                                    const GroundTruth& truth,
+                                    const FusionModel& model,
+                                    const std::string& strategy_name,
+                                    const CurveOptions& options);
+
+/// Samples a trace at the given fractions of `conflicting` items.
+std::vector<CurvePoint> SampleCurve(const SessionTrace& trace,
+                                    std::size_t conflicting,
+                                    const std::vector<double>& fractions);
+
+}  // namespace veritas
+
+#endif  // VERITAS_EXP_HARNESS_H_

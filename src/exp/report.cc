@@ -1,0 +1,88 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace veritas {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os, int indent) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << pad << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  os << FormatCsvRow(header_) << '\n';
+  for (const auto& row : rows_) os << FormatCsvRow(row) << '\n';
+}
+
+std::string Pct(double value, int precision) {
+  return FormatDouble(value, precision) + "%";
+}
+
+std::string Num(double value, int precision) {
+  return FormatDouble(value, precision);
+}
+
+std::string Secs(double seconds) {
+  if (seconds < 0.01) return FormatDouble(seconds, 5) + " s";
+  if (seconds < 1.0) return FormatDouble(seconds, 4) + " s";
+  return FormatDouble(seconds, 2) + " s";
+}
+
+bool MaybeExportCsv(const std::string& name, const TextTable& table) {
+  const char* dir = std::getenv("VERITAS_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cerr << "VERITAS_CSV_DIR: cannot write " << path << "\n";
+    return false;
+  }
+  table.PrintCsv(out);
+  if (!out.good()) {
+    std::cerr << "VERITAS_CSV_DIR: write failed for " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace veritas

@@ -1,0 +1,53 @@
+// Plain-text reporting helpers shared by the bench binaries: aligned tables
+// and CSV emission, so every figure/table of the paper prints both a
+// human-readable block and machine-readable rows.
+#ifndef VERITAS_EXP_REPORT_H_
+#define VERITAS_EXP_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace veritas {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints with aligned columns, a header rule, and `indent` leading spaces.
+  void Print(std::ostream& os, int indent = 0) const;
+
+  /// Prints as CSV (header + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3%" style formatting.
+std::string Pct(double value, int precision = 1);
+
+/// Fixed-precision number.
+std::string Num(double value, int precision = 3);
+
+/// Seconds with automatic precision ("0.0012 s", "12.3 s").
+std::string Secs(double seconds);
+
+/// Prints a banner line for a figure/table section.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+/// If the VERITAS_CSV_DIR environment variable is set, writes the table as
+/// CSV to "<dir>/<name>.csv" so bench outputs can be post-processed or
+/// plotted. Returns true when a file was written. Failures are reported on
+/// stderr but never abort a bench run.
+bool MaybeExportCsv(const std::string& name, const TextTable& table);
+
+}  // namespace veritas
+
+#endif  // VERITAS_EXP_REPORT_H_

@@ -1,0 +1,50 @@
+// Experiment scaling. The paper's datasets range from 1.2k to 121k items;
+// regenerating every figure at full size takes hours. The VERITAS_SCALE
+// environment variable selects how large the synthetic stand-ins are:
+//   "small"  (default) — minutes for the whole bench suite,
+//   "medium"           — closer to FlightsDay size,
+//   "paper"            — paper-sized item counts.
+// Shapes (who wins, crossovers, timing ratios) are stable across scales.
+#ifndef VERITAS_EXP_SCALE_H_
+#define VERITAS_EXP_SCALE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/synthetic.h"
+
+namespace veritas {
+
+/// Bench size preset.
+enum class ScaleMode { kSmall, kMedium, kPaper };
+
+/// Reads VERITAS_SCALE ("small" | "medium" | "paper"); defaults to kSmall.
+ScaleMode GetScaleMode();
+
+/// Human-readable name of a mode.
+std::string ScaleModeName(ScaleMode mode);
+
+/// A synthetic stand-in for one of the paper's datasets.
+struct NamedDataset {
+  std::string name;
+  SyntheticDataset data;
+};
+
+/// Books-like: long-tail, many sources, ~19 votes/item
+/// (paper: 1263 items, 894 sources).
+NamedDataset MakeBooksLike(ScaleMode mode, std::uint64_t seed = 7);
+
+/// FlightsDay-like: dense, 38 sources, d ~ 0.36
+/// (paper: 5836 items).
+NamedDataset MakeFlightsDayLike(ScaleMode mode, std::uint64_t seed = 11);
+
+/// Population-like: extremely sparse long-tail, ~1.15 votes/item, only a few
+/// percent of items conflicting (paper: 40696 items, 2545 sources).
+NamedDataset MakePopulationLike(ScaleMode mode, std::uint64_t seed = 13);
+
+/// Flights-like: the large dense dataset (paper: 121567 items, 38 sources).
+NamedDataset MakeFlightsLike(ScaleMode mode, std::uint64_t seed = 17);
+
+}  // namespace veritas
+
+#endif  // VERITAS_EXP_SCALE_H_

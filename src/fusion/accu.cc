@@ -1,0 +1,109 @@
+#include "fusion/accu.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace veritas {
+
+namespace {
+
+// One full pass of Eq. (1) over all items. Pinned items copy their prior.
+void UpdateProbabilities(const Database& db, const PriorSet& priors,
+                         const std::vector<double>& accuracies,
+                         FusionResult* result) {
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    std::vector<double>* probs = result->mutable_item_probs(i);
+    if (priors.Has(i)) {
+      *probs = priors.Get(i);
+      continue;
+    }
+    const std::size_t n_claims = db.num_claims(i);
+    if (n_claims == 1) {
+      (*probs)[0] = 1.0;
+      continue;
+    }
+    *probs = AccuFusion::ClaimProbabilities(db, i, accuracies);
+  }
+}
+
+// One full pass of Eq. (2): accuracy of a source is the mean probability of
+// the claims it votes for. Sources with no votes keep their current value.
+// Returns the L-infinity change.
+double UpdateAccuracies(const Database& db, const FusionResult& result,
+                        std::vector<double>* accuracies) {
+  double max_delta = 0.0;
+  for (SourceId j = 0; j < db.num_sources(); ++j) {
+    const Source& s = db.source(j);
+    if (s.votes.empty()) continue;
+    double sum = 0.0;
+    for (const Vote& v : s.votes) {
+      sum += result.prob(v.item, v.claim);
+    }
+    const double updated =
+        ClampAccuracy(sum / static_cast<double>(s.votes.size()));
+    max_delta = std::max(max_delta, std::fabs(updated - (*accuracies)[j]));
+    (*accuracies)[j] = updated;
+  }
+  return max_delta;
+}
+
+}  // namespace
+
+std::vector<double> AccuFusion::ClaimLogScores(
+    const Database& db, ItemId item, const std::vector<double>& accuracies) {
+  const Item& o = db.item(item);
+  const double false_values = static_cast<double>(o.claims.size()) - 1.0;
+  std::vector<double> scores(o.claims.size(), 0.0);
+  for (ClaimIndex k = 0; k < o.claims.size(); ++k) {
+    double score = 0.0;
+    for (SourceId s : o.claims[k].sources) {
+      const double a = ClampAccuracy(accuracies[s]);
+      score += std::log(false_values * a / (1.0 - a));
+    }
+    scores[k] = score;
+  }
+  return scores;
+}
+
+std::vector<double> AccuFusion::ClaimProbabilities(
+    const Database& db, ItemId item, const std::vector<double>& accuracies) {
+  if (db.num_claims(item) == 1) return {1.0};
+  return SoftmaxFromLogScores(ClaimLogScores(db, item, accuracies));
+}
+
+FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
+                              const FusionOptions& opts) const {
+  return Fuse(db, priors, opts, nullptr);
+}
+
+FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
+                              const FusionOptions& opts,
+                              const FusionResult* warm) const {
+  FusionResult result(db, opts.initial_accuracy);
+  std::vector<double> accuracies =
+      warm != nullptr ? warm->accuracies()
+                      : std::vector<double>(db.num_sources(),
+                                            opts.initial_accuracy);
+  for (double& a : accuracies) a = ClampAccuracy(a);
+
+  bool converged = false;
+  std::size_t iter = 0;
+  while (iter < opts.max_iterations) {
+    ++iter;
+    UpdateProbabilities(db, priors, accuracies, &result);
+    const double delta = UpdateAccuracies(db, result, &accuracies);
+    if (delta < opts.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+  // Final probability pass so P is consistent with the final A.
+  UpdateProbabilities(db, priors, accuracies, &result);
+  *result.mutable_accuracies() = std::move(accuracies);
+  result.set_iterations(iter);
+  result.set_converged(converged);
+  return result;
+}
+
+}  // namespace veritas

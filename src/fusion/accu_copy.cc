@@ -1,0 +1,252 @@
+#include "fusion/accu_copy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fusion/accu.h"
+#include "util/math.h"
+
+namespace veritas {
+
+namespace {
+
+constexpr double kMinPosterior = 1e-6;
+
+// Accuracies are capped inside the dependence likelihoods: with estimated
+// accuracies near 1 the "shared true value" likelihood ratio degenerates to
+// exactly 1 and total agreement stops being evidence of anything. Dong et
+// al. bound the accuracy used for dependence detection for the same reason.
+constexpr double kDepMinAccuracy = 0.2;
+constexpr double kDepMaxAccuracy = 0.9;
+
+// Evidence counts of one source pair over their overlapping items.
+struct PairEvidence {
+  std::size_t same_true = 0;   // Same value, currently believed true.
+  std::size_t same_false = 0;  // Same value, currently believed false.
+  std::size_t different = 0;   // Different values on the same item.
+  double mean_false_count = 1.0;  // Average #false values of overlap items.
+};
+
+// Posterior probability that the pair is dependent, given evidence and the
+// two accuracies (Bayes with the Dong et al. likelihoods, computed in log
+// space). `c` is the copy rate, `alpha` the prior.
+double DependencePosterior(const PairEvidence& ev, double a1, double a2,
+                           double c, double alpha) {
+  const double n = std::max(ev.mean_false_count, 1.0);
+  const double p_same_true_ind = Clamp(a1 * a2, 1e-12, 1.0);
+  const double p_same_false_ind =
+      Clamp((1.0 - a1) * (1.0 - a2) / n, 1e-12, 1.0);
+  const double p_diff_ind = Clamp(1.0 - p_same_true_ind - p_same_false_ind,
+                                  1e-12, 1.0);
+  const double p_same_true_dep =
+      Clamp(c * a2 + (1.0 - c) * p_same_true_ind, 1e-12, 1.0);
+  const double p_same_false_dep =
+      Clamp(c * (1.0 - a2) + (1.0 - c) * p_same_false_ind, 1e-12, 1.0);
+  const double p_diff_dep = Clamp((1.0 - c) * p_diff_ind, 1e-12, 1.0);
+
+  const double log_ind = static_cast<double>(ev.same_true) *
+                             std::log(p_same_true_ind) +
+                         static_cast<double>(ev.same_false) *
+                             std::log(p_same_false_ind) +
+                         static_cast<double>(ev.different) *
+                             std::log(p_diff_ind);
+  const double log_dep = static_cast<double>(ev.same_true) *
+                             std::log(p_same_true_dep) +
+                         static_cast<double>(ev.same_false) *
+                             std::log(p_same_false_dep) +
+                         static_cast<double>(ev.different) *
+                             std::log(p_diff_dep);
+  // posterior = alpha e^{log_dep} / (alpha e^{log_dep} + (1-alpha) e^{log_ind})
+  const double log_num = std::log(alpha) + log_dep;
+  const double log_den = LogSumExp({log_num, std::log(1.0 - alpha) + log_ind});
+  return Clamp(std::exp(log_num - log_den), kMinPosterior,
+               1.0 - kMinPosterior);
+}
+
+// Collects evidence for the pair (a, b) by merging their sorted vote lists.
+// "True" is whatever the current fusion believes (winner claim).
+PairEvidence CollectEvidence(const Database& db, const FusionResult& fusion,
+                             SourceId a, SourceId b) {
+  PairEvidence ev;
+  const auto& va = db.source(a).votes;
+  const auto& vb = db.source(b).votes;
+  std::size_t i = 0, j = 0;
+  double false_count_sum = 0.0;
+  std::size_t overlap = 0;
+  while (i < va.size() && j < vb.size()) {
+    if (va[i].item < vb[j].item) {
+      ++i;
+    } else if (vb[j].item < va[i].item) {
+      ++j;
+    } else {
+      const ItemId item = va[i].item;
+      ++overlap;
+      false_count_sum +=
+          static_cast<double>(std::max<std::size_t>(db.num_claims(item), 2) -
+                              1);
+      if (va[i].claim == vb[j].claim) {
+        if (va[i].claim == fusion.WinningClaim(item)) {
+          ++ev.same_true;
+        } else {
+          ++ev.same_false;
+        }
+      } else {
+        ++ev.different;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (overlap > 0) {
+    ev.mean_false_count = false_count_sum / static_cast<double>(overlap);
+  }
+  return ev;
+}
+
+}  // namespace
+
+double AccuCopyFusion::DependenceProbability(SourceId a, SourceId b) const {
+  if (a == b || a >= last_num_sources_ || b >= last_num_sources_) return 0.0;
+  return dependence_[static_cast<std::size_t>(a) * last_num_sources_ + b];
+}
+
+FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
+                                  const FusionOptions& opts) const {
+  return Fuse(db, priors, opts, nullptr);
+}
+
+FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
+                                  const FusionOptions& opts,
+                                  const FusionResult* warm) const {
+  const std::size_t n_sources = db.num_sources();
+  last_num_sources_ = n_sources;
+  dependence_.assign(n_sources * n_sources, 0.0);
+
+  // Bootstrap from a *single* AccuNoDep iteration, not a converged run:
+  // dependence evidence must be collected before the truth estimate
+  // polarizes, otherwise a clique that owns an item's majority gets its
+  // shared lies labelled "true" and escapes detection (and, worse, honest
+  // minority pairs get flagged). At this stage the dominant, non-circular
+  // signal is the pair's raw agreement rate: copiers never disagree on
+  // shared items, independent sources do.
+  AccuFusion base;
+  FusionOptions bootstrap = opts;
+  bootstrap.max_iterations = 1;
+  FusionResult result = base.Fuse(db, priors, bootstrap, warm);
+
+  std::vector<double> accuracies = result.accuracies();
+  std::vector<double> independence_weight;  // Scratch per claim scoring.
+
+  for (std::size_t round = 0; round < copy_options_.dependence_rounds;
+       ++round) {
+    // 1. Re-estimate pairwise dependence under the current beliefs.
+    for (SourceId a = 0; a < n_sources; ++a) {
+      for (SourceId b = a + 1; b < n_sources; ++b) {
+        const PairEvidence ev = CollectEvidence(db, result, a, b);
+        const std::size_t overlap = ev.same_true + ev.same_false +
+                                    ev.different;
+        double posterior = 0.0;
+        if (overlap >= copy_options_.min_overlap) {
+          // Direction-symmetric evidence: take the max of "a copies b" and
+          // "b copies a" (discounting only needs undirected dependence).
+          const double cap_a =
+              Clamp(accuracies[a], kDepMinAccuracy, kDepMaxAccuracy);
+          const double cap_b =
+              Clamp(accuracies[b], kDepMinAccuracy, kDepMaxAccuracy);
+          const double ab = DependencePosterior(
+              ev, cap_a, cap_b, copy_options_.copy_rate,
+              copy_options_.prior_copy_probability);
+          const double ba = DependencePosterior(
+              ev, cap_b, cap_a, copy_options_.copy_rate,
+              copy_options_.prior_copy_probability);
+          posterior = std::max(ab, ba);
+        }
+        dependence_[static_cast<std::size_t>(a) * n_sources + b] = posterior;
+        dependence_[static_cast<std::size_t>(b) * n_sources + a] = posterior;
+      }
+    }
+
+    // 2. Re-solve truth discovery under the refined dependence model,
+    //    starting from fresh accuracies: carrying accuracies polarized by a
+    //    previous round's (possibly clique-dominated) solution would anchor
+    //    the very errors the discounting is meant to undo.
+    std::fill(accuracies.begin(), accuracies.end(), opts.initial_accuracy);
+    bool converged = false;
+    std::size_t iter = 0;
+    while (iter < opts.max_iterations) {
+      ++iter;
+      for (ItemId i = 0; i < db.num_items(); ++i) {
+        std::vector<double>* probs = result.mutable_item_probs(i);
+        if (priors.Has(i)) {
+          *probs = priors.Get(i);
+          continue;
+        }
+        const Item& item = db.item(i);
+        if (item.claims.size() == 1) {
+          (*probs)[0] = 1.0;
+          continue;
+        }
+        const double false_values =
+            static_cast<double>(item.claims.size()) - 1.0;
+        std::vector<double> scores(item.claims.size(), 0.0);
+        std::vector<SourceId> ordered;
+        for (ClaimIndex k = 0; k < item.claims.size(); ++k) {
+          const auto& voters = item.claims[k].sources;
+          // Ordered discounting (Dong et al.): count the most accurate
+          // voter in full, then discount each further voter by its
+          // dependence on the voters already counted — so a clique of
+          // copiers contributes barely more than its best member.
+          ordered.assign(voters.begin(), voters.end());
+          std::sort(ordered.begin(), ordered.end(),
+                    [&](SourceId x, SourceId y) {
+                      if (accuracies[x] != accuracies[y]) {
+                        return accuracies[x] > accuracies[y];
+                      }
+                      return x < y;
+                    });
+          independence_weight.assign(ordered.size(), 1.0);
+          for (std::size_t x = 1; x < ordered.size(); ++x) {
+            for (std::size_t y = 0; y < x; ++y) {
+              const double dep =
+                  dependence_[static_cast<std::size_t>(ordered[x]) *
+                                  n_sources +
+                              ordered[y]];
+              independence_weight[x] *=
+                  1.0 - copy_options_.copy_rate * dep;
+            }
+          }
+          double score = 0.0;
+          for (std::size_t x = 0; x < ordered.size(); ++x) {
+            const double a = ClampAccuracy(accuracies[ordered[x]]);
+            score += independence_weight[x] *
+                     std::log(false_values * a / (1.0 - a));
+          }
+          scores[k] = score;
+        }
+        *probs = SoftmaxFromLogScores(scores);
+      }
+      // Accuracy update (Eq. 2).
+      double max_delta = 0.0;
+      for (SourceId j = 0; j < n_sources; ++j) {
+        const Source& s = db.source(j);
+        if (s.votes.empty()) continue;
+        double sum = 0.0;
+        for (const Vote& v : s.votes) sum += result.prob(v.item, v.claim);
+        const double updated =
+            ClampAccuracy(sum / static_cast<double>(s.votes.size()));
+        max_delta = std::max(max_delta, std::fabs(updated - accuracies[j]));
+        accuracies[j] = updated;
+      }
+      if (max_delta < opts.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+    result.set_iterations(iter);
+    result.set_converged(converged);
+  }
+  *result.mutable_accuracies() = std::move(accuracies);
+  return result;
+}
+
+}  // namespace veritas

@@ -1,0 +1,39 @@
+#include "fusion/fusion_factory.h"
+
+#include "fusion/accu.h"
+#include "fusion/accu_copy.h"
+#include "fusion/lca.h"
+#include "fusion/pooled_investment.h"
+#include "fusion/truthfinder.h"
+#include "fusion/voting.h"
+
+namespace veritas {
+
+Result<std::unique_ptr<FusionModel>> MakeFusionModel(const std::string& name) {
+  if (name == "accu") {
+    return std::unique_ptr<FusionModel>(new AccuFusion());
+  }
+  if (name == "accu_copy") {
+    return std::unique_ptr<FusionModel>(new AccuCopyFusion());
+  }
+  if (name == "voting") {
+    return std::unique_ptr<FusionModel>(new VotingFusion());
+  }
+  if (name == "truthfinder") {
+    return std::unique_ptr<FusionModel>(new TruthFinderFusion());
+  }
+  if (name == "lca") {
+    return std::unique_ptr<FusionModel>(new SimpleLcaFusion());
+  }
+  if (name == "pooled_investment") {
+    return std::unique_ptr<FusionModel>(new PooledInvestmentFusion());
+  }
+  return Status::NotFound("unknown fusion model: " + name);
+}
+
+std::vector<std::string> FusionModelNames() {
+  return {"accu",        "accu_copy", "voting",
+          "truthfinder", "lca",       "pooled_investment"};
+}
+
+}  // namespace veritas

@@ -1,0 +1,23 @@
+// Construction of fusion models by name, for command-line experiment tools.
+#ifndef VERITAS_FUSION_FUSION_FACTORY_H_
+#define VERITAS_FUSION_FUSION_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fusion/fusion_model.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Creates a fusion model from its name: "accu", "voting", "truthfinder",
+/// or "pooled_investment". Unknown names yield NotFound.
+Result<std::unique_ptr<FusionModel>> MakeFusionModel(const std::string& name);
+
+/// Names accepted by MakeFusionModel.
+std::vector<std::string> FusionModelNames();
+
+}  // namespace veritas
+
+#endif  // VERITAS_FUSION_FUSION_FACTORY_H_

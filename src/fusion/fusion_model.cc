@@ -1,0 +1,11 @@
+#include "fusion/fusion_model.h"
+
+namespace veritas {
+
+FusionResult FusionModel::Fuse(const Database& db, const PriorSet& priors,
+                               const FusionOptions& opts,
+                               const FusionResult* /*warm*/) const {
+  return Fuse(db, priors, opts);
+}
+
+}  // namespace veritas

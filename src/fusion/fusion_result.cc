@@ -1,0 +1,29 @@
+#include "fusion/fusion_result.h"
+
+#include "util/math.h"
+
+namespace veritas {
+
+FusionResult::FusionResult(const Database& db, double initial_accuracy) {
+  probs_.resize(db.num_items());
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    probs_[i].assign(db.num_claims(i), 0.0);
+  }
+  accuracies_.assign(db.num_sources(), initial_accuracy);
+}
+
+ClaimIndex FusionResult::WinningClaim(ItemId item) const {
+  return static_cast<ClaimIndex>(ArgMax(probs_[item]));
+}
+
+double FusionResult::ItemEntropy(ItemId item) const {
+  return Entropy(probs_[item]);
+}
+
+double FusionResult::TotalEntropy() const {
+  double total = 0.0;
+  for (const auto& p : probs_) total += Entropy(p);
+  return total;
+}
+
+}  // namespace veritas

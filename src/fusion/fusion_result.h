@@ -1,0 +1,66 @@
+// FusionResult: the <P, A> output of a fusion system (Definition 2) —
+// per-claim correctness probabilities plus source accuracies.
+#ifndef VERITAS_FUSION_FUSION_RESULT_H_
+#define VERITAS_FUSION_FUSION_RESULT_H_
+
+#include <vector>
+
+#include "model/database.h"
+#include "model/types.h"
+
+namespace veritas {
+
+/// Probabilities of claims and accuracies of sources after fusion.
+class FusionResult {
+ public:
+  FusionResult() = default;
+  /// Allocates per-item probability vectors shaped like `db` (all zero) and
+  /// source accuracies initialized to `initial_accuracy`.
+  FusionResult(const Database& db, double initial_accuracy);
+
+  /// p_i^k: probability that claim k of item i is true.
+  double prob(ItemId item, ClaimIndex claim) const {
+    return probs_[item][claim];
+  }
+  const std::vector<double>& item_probs(ItemId item) const {
+    return probs_[item];
+  }
+  std::vector<double>* mutable_item_probs(ItemId item) {
+    return &probs_[item];
+  }
+  std::size_t num_items() const { return probs_.size(); }
+
+  /// A_j: accuracy of source j.
+  double accuracy(SourceId source) const { return accuracies_[source]; }
+  const std::vector<double>& accuracies() const { return accuracies_; }
+  std::vector<double>* mutable_accuracies() { return &accuracies_; }
+
+  /// Claim with the highest probability (the model's pick, §3).
+  ClaimIndex WinningClaim(ItemId item) const;
+
+  /// Shannon entropy (nats) of item i's claim distribution (Eq. 3).
+  double ItemEntropy(ItemId item) const;
+
+  /// Sum of entropies over all items — the uncertainty metric (§5) and the
+  /// negated entropy utility of Definition 5.
+  double TotalEntropy() const;
+
+  /// Iterations the fusion model ran.
+  std::size_t iterations() const { return iterations_; }
+  void set_iterations(std::size_t n) { iterations_ = n; }
+
+  /// Whether the accuracy fixed-point iteration converged (the model is not
+  /// guaranteed to converge, §3).
+  bool converged() const { return converged_; }
+  void set_converged(bool c) { converged_ = c; }
+
+ private:
+  std::vector<std::vector<double>> probs_;
+  std::vector<double> accuracies_;
+  std::size_t iterations_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_FUSION_FUSION_RESULT_H_

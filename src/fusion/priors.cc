@@ -1,0 +1,52 @@
+#include "fusion/priors.h"
+
+#include <cmath>
+
+namespace veritas {
+
+Status PriorSet::SetExact(const Database& db, ItemId item, ClaimIndex claim) {
+  if (item >= db.num_items()) {
+    return Status::OutOfRange("prior: item id out of range");
+  }
+  if (claim >= db.num_claims(item)) {
+    return Status::OutOfRange("prior: claim index out of range for item '" +
+                              db.item(item).name + "'");
+  }
+  std::vector<double> probs(db.num_claims(item), 0.0);
+  probs[claim] = 1.0;
+  priors_[item] = std::move(probs);
+  return Status::OK();
+}
+
+Status PriorSet::SetDistribution(const Database& db, ItemId item,
+                                 std::vector<double> probs) {
+  if (item >= db.num_items()) {
+    return Status::OutOfRange("prior: item id out of range");
+  }
+  if (probs.size() != db.num_claims(item)) {
+    return Status::InvalidArgument(
+        "prior: distribution size does not match claim count of item '" +
+        db.item(item).name + "'");
+  }
+  double sum = 0.0;
+  for (double p : probs) {
+    if (p < -1e-12 || p > 1.0 + 1e-12) {
+      return Status::InvalidArgument("prior: probability out of [0,1]");
+    }
+    sum += p;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("prior: distribution does not sum to 1");
+  }
+  priors_[item] = std::move(probs);
+  return Status::OK();
+}
+
+std::vector<ItemId> PriorSet::Items() const {
+  std::vector<ItemId> out;
+  out.reserve(priors_.size());
+  for (const auto& [item, _] : priors_) out.push_back(item);
+  return out;
+}
+
+}  // namespace veritas

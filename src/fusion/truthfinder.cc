@@ -1,0 +1,76 @@
+#include "fusion/truthfinder.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace veritas {
+
+FusionResult TruthFinderFusion::Fuse(const Database& db,
+                                     const PriorSet& priors,
+                                     const FusionOptions& opts) const {
+  return Fuse(db, priors, opts, nullptr);
+}
+
+FusionResult TruthFinderFusion::Fuse(const Database& db,
+                                     const PriorSet& priors,
+                                     const FusionOptions& opts,
+                                     const FusionResult* warm) const {
+  FusionResult result(db, opts.initial_accuracy);
+  std::vector<double> trust =
+      warm != nullptr ? warm->accuracies()
+                      : std::vector<double>(db.num_sources(),
+                                            opts.initial_accuracy);
+  for (double& t : trust) t = ClampAccuracy(t);
+
+  bool converged = false;
+  std::size_t iter = 0;
+  std::vector<double> conf;
+  while (iter < opts.max_iterations) {
+    ++iter;
+    // Claim confidences -> per-item distributions.
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+      std::vector<double>* probs = result.mutable_item_probs(i);
+      if (priors.Has(i)) {
+        *probs = priors.Get(i);
+        continue;
+      }
+      const Item& o = db.item(i);
+      if (o.claims.size() == 1) {
+        (*probs)[0] = 1.0;
+        continue;
+      }
+      conf.assign(o.claims.size(), 0.0);
+      for (ClaimIndex k = 0; k < o.claims.size(); ++k) {
+        double sigma = 0.0;
+        for (SourceId s : o.claims[k].sources) {
+          sigma += -std::log(1.0 - ClampAccuracy(trust[s]));
+        }
+        conf[k] = 1.0 / (1.0 + std::exp(-gamma_ * sigma));
+      }
+      *probs = Normalize(conf);
+    }
+    // Trust update.
+    double max_delta = 0.0;
+    for (SourceId j = 0; j < db.num_sources(); ++j) {
+      const Source& s = db.source(j);
+      if (s.votes.empty()) continue;
+      double sum = 0.0;
+      for (const Vote& v : s.votes) sum += result.prob(v.item, v.claim);
+      const double updated =
+          ClampAccuracy(sum / static_cast<double>(s.votes.size()));
+      max_delta = std::max(max_delta, std::fabs(updated - trust[j]));
+      trust[j] = updated;
+    }
+    if (max_delta < opts.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+  *result.mutable_accuracies() = std::move(trust);
+  result.set_iterations(iter);
+  result.set_converged(converged);
+  return result;
+}
+
+}  // namespace veritas

@@ -1,0 +1,43 @@
+#include "fusion/voting.h"
+
+#include "util/math.h"
+
+namespace veritas {
+
+std::vector<double> VotingFusion::VoteShares(const Database& db, ItemId item) {
+  const Item& o = db.item(item);
+  std::vector<double> counts(o.claims.size(), 0.0);
+  for (ClaimIndex k = 0; k < o.claims.size(); ++k) {
+    counts[k] = static_cast<double>(o.claims[k].sources.size());
+  }
+  return Normalize(counts);
+}
+
+FusionResult VotingFusion::Fuse(const Database& db, const PriorSet& priors,
+                                const FusionOptions& opts) const {
+  FusionResult result(db, opts.initial_accuracy);
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    std::vector<double>* probs = result.mutable_item_probs(i);
+    if (priors.Has(i)) {
+      *probs = priors.Get(i);
+    } else {
+      *probs = VoteShares(db, i);
+    }
+  }
+  std::vector<double>* accuracies = result.mutable_accuracies();
+  for (SourceId j = 0; j < db.num_sources(); ++j) {
+    const Source& s = db.source(j);
+    if (s.votes.empty()) continue;
+    double sum = 0.0;
+    for (const Vote& v : s.votes) sum += result.prob(v.item, v.claim);
+    // Clamped like the iterative models so downstream odds ratios stay
+    // finite when a strategy consumes these accuracies.
+    (*accuracies)[j] =
+        ClampAccuracy(sum / static_cast<double>(s.votes.size()));
+  }
+  result.set_iterations(1);
+  result.set_converged(true);
+  return result;
+}
+
+}  // namespace veritas

@@ -1,0 +1,50 @@
+#include "model/database.h"
+
+#include <algorithm>
+
+namespace veritas {
+
+std::vector<ItemId> Database::ConflictingItems() const {
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < items_.size(); ++i) {
+    if (HasConflict(i)) out.push_back(i);
+  }
+  return out;
+}
+
+Result<ItemId> Database::FindItem(const std::string& name) const {
+  auto it = item_index_.find(name);
+  if (it == item_index_.end()) {
+    return Status::NotFound("item not found: " + name);
+  }
+  return it->second;
+}
+
+Result<SourceId> Database::FindSource(const std::string& name) const {
+  auto it = source_index_.find(name);
+  if (it == source_index_.end()) {
+    return Status::NotFound("source not found: " + name);
+  }
+  return it->second;
+}
+
+Result<ClaimIndex> Database::FindClaim(ItemId item,
+                                       const std::string& value) const {
+  const Item& o = items_[item];
+  for (ClaimIndex k = 0; k < o.claims.size(); ++k) {
+    if (o.claims[k].value == value) return k;
+  }
+  return Status::NotFound("claim not found on item '" + o.name +
+                          "': " + value);
+}
+
+ClaimIndex Database::ClaimOf(SourceId source, ItemId item) const {
+  const std::vector<Vote>& votes = sources_[source].votes;
+  auto it = std::lower_bound(
+      votes.begin(), votes.end(), item,
+      [](const Vote& v, ItemId target) { return v.item < target; });
+  if (it != votes.end() && it->item == item) return it->claim;
+  return kInvalidClaim;
+}
+
+}  // namespace veritas

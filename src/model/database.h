@@ -1,0 +1,93 @@
+// The database D = <O, S, Psi, V> of Definition 1: data items, sources,
+// claims, and source-to-claim observations. Immutable once built (use
+// DatabaseBuilder); all fusion models and feedback strategies read from it.
+#ifndef VERITAS_MODEL_DATABASE_H_
+#define VERITAS_MODEL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/types.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// One claim v_i^k of a data item, together with the sources voting for it.
+struct Claim {
+  std::string value;
+  std::vector<SourceId> sources;  ///< S(v_i^k), sorted ascending.
+};
+
+/// One data item o_i with its claim set V_i.
+struct Item {
+  std::string name;
+  std::vector<Claim> claims;
+};
+
+/// One source s_j with all its votes (at most one per item).
+struct Source {
+  std::string name;
+  std::vector<Vote> votes;  ///< Sorted by item id.
+};
+
+/// Immutable fused view of items, sources and observations.
+class Database {
+ public:
+  std::size_t num_items() const { return items_.size(); }
+  std::size_t num_sources() const { return sources_.size(); }
+  /// Total number of distinct claims, sum_i |V_i| (the |V| of Def. 3).
+  std::size_t num_claims() const { return num_claims_; }
+  /// Total number of observations |Psi| (votes).
+  std::size_t num_observations() const { return num_observations_; }
+
+  const Item& item(ItemId id) const { return items_[id]; }
+  const Source& source(SourceId id) const { return sources_[id]; }
+  const std::vector<Item>& items() const { return items_; }
+  const std::vector<Source>& sources() const { return sources_; }
+
+  /// Number of claims |V_i| of an item.
+  std::size_t num_claims(ItemId id) const { return items_[id].claims.size(); }
+
+  /// All votes cast on an item, i.e. the pairs (source, claim index).
+  const std::vector<ItemVote>& item_votes(ItemId id) const {
+    return item_votes_[id];
+  }
+
+  /// N(s_j): number of items source j votes on.
+  std::size_t source_degree(SourceId id) const {
+    return sources_[id].votes.size();
+  }
+
+  /// True when the item has more than one distinct claim.
+  bool HasConflict(ItemId id) const { return items_[id].claims.size() > 1; }
+
+  /// Ids of all items with at least two claims (the validation candidates).
+  std::vector<ItemId> ConflictingItems() const;
+
+  /// Looks up an item by name.
+  Result<ItemId> FindItem(const std::string& name) const;
+  /// Looks up a source by name.
+  Result<SourceId> FindSource(const std::string& name) const;
+  /// Looks up a claim of an item by its value string.
+  Result<ClaimIndex> FindClaim(ItemId item, const std::string& value) const;
+
+  /// The claim (if any) that `source` casts on `item`; kInvalidClaim if the
+  /// source does not vote on the item.
+  ClaimIndex ClaimOf(SourceId source, ItemId item) const;
+
+ private:
+  friend class DatabaseBuilder;
+
+  std::vector<Item> items_;
+  std::vector<Source> sources_;
+  std::vector<std::vector<ItemVote>> item_votes_;
+  std::unordered_map<std::string, ItemId> item_index_;
+  std::unordered_map<std::string, SourceId> source_index_;
+  std::size_t num_claims_ = 0;
+  std::size_t num_observations_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_MODEL_DATABASE_H_

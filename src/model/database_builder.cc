@@ -1,0 +1,110 @@
+#include "model/database_builder.h"
+
+#include <algorithm>
+
+namespace veritas {
+
+ItemId DatabaseBuilder::InternItem(const std::string& name) {
+  auto it = item_index_.find(name);
+  if (it != item_index_.end()) return it->second;
+  const ItemId id = static_cast<ItemId>(items_.size());
+  items_.push_back(PendingItem{name, {}, {}});
+  item_index_.emplace(name, id);
+  return id;
+}
+
+SourceId DatabaseBuilder::InternSource(const std::string& name) {
+  auto it = source_index_.find(name);
+  if (it != source_index_.end()) return it->second;
+  const SourceId id = static_cast<SourceId>(sources_.size());
+  sources_.push_back(PendingSource{name, {}});
+  source_index_.emplace(name, id);
+  return id;
+}
+
+ItemId DatabaseBuilder::AddItem(const std::string& item) {
+  return InternItem(item);
+}
+
+SourceId DatabaseBuilder::AddSource(const std::string& source) {
+  return InternSource(source);
+}
+
+Status DatabaseBuilder::AddObservation(const std::string& source,
+                                       const std::string& item,
+                                       const std::string& value) {
+  const ItemId item_id = InternItem(item);
+  const SourceId source_id = InternSource(source);
+
+  PendingItem& pi = items_[item_id];
+  ClaimIndex claim;
+  auto cit = pi.claim_index.find(value);
+  if (cit != pi.claim_index.end()) {
+    claim = cit->second;
+  } else {
+    claim = static_cast<ClaimIndex>(pi.claim_values.size());
+    pi.claim_values.push_back(value);
+    pi.claim_index.emplace(value, claim);
+  }
+
+  PendingSource& ps = sources_[source_id];
+  auto vit = ps.votes.find(item_id);
+  if (vit != ps.votes.end()) {
+    if (vit->second == claim) return Status::OK();  // Idempotent duplicate.
+    return Status::InvalidArgument("source '" + source +
+                                   "' votes twice on item '" + item +
+                                   "' with different values");
+  }
+  ps.votes.emplace(item_id, claim);
+  return Status::OK();
+}
+
+Database DatabaseBuilder::Build() const {
+  Database db;
+  db.items_.resize(items_.size());
+  db.sources_.resize(sources_.size());
+  db.item_votes_.resize(items_.size());
+  db.item_index_ = item_index_;
+  db.source_index_ = source_index_;
+
+  for (ItemId i = 0; i < items_.size(); ++i) {
+    const PendingItem& pi = items_[i];
+    Item& out = db.items_[i];
+    out.name = pi.name;
+    out.claims.resize(pi.claim_values.size());
+    for (ClaimIndex k = 0; k < pi.claim_values.size(); ++k) {
+      out.claims[k].value = pi.claim_values[k];
+    }
+    db.num_claims_ += pi.claim_values.size();
+  }
+
+  for (SourceId j = 0; j < sources_.size(); ++j) {
+    const PendingSource& ps = sources_[j];
+    Source& out = db.sources_[j];
+    out.name = ps.name;
+    out.votes.reserve(ps.votes.size());
+    for (const auto& [item_id, claim] : ps.votes) {
+      out.votes.push_back(Vote{item_id, claim});
+      db.items_[item_id].claims[claim].sources.push_back(j);
+      db.item_votes_[item_id].push_back(ItemVote{j, claim});
+      ++db.num_observations_;
+    }
+    std::sort(out.votes.begin(), out.votes.end(),
+              [](const Vote& a, const Vote& b) { return a.item < b.item; });
+  }
+
+  for (Item& item : db.items_) {
+    for (Claim& claim : item.claims) {
+      std::sort(claim.sources.begin(), claim.sources.end());
+    }
+  }
+  for (auto& votes : db.item_votes_) {
+    std::sort(votes.begin(), votes.end(),
+              [](const ItemVote& a, const ItemVote& b) {
+                return a.source < b.source;
+              });
+  }
+  return db;
+}
+
+}  // namespace veritas

@@ -1,0 +1,63 @@
+// Incremental construction of a Database from (source, item, value)
+// observations.
+#ifndef VERITAS_MODEL_DATABASE_BUILDER_H_
+#define VERITAS_MODEL_DATABASE_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/database.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Builds a Database one observation at a time.
+///
+/// Each source may vote at most once per item (paper §1.2); a second vote by
+/// the same source on the same item is an error unless it repeats the same
+/// value, in which case it is ignored as a duplicate.
+class DatabaseBuilder {
+ public:
+  /// Registers the observation "source claims that item has value".
+  /// Names are interned; new items/sources/claims are created on demand.
+  Status AddObservation(const std::string& source, const std::string& item,
+                        const std::string& value);
+
+  /// Registers an item with no votes yet (rarely needed; items are normally
+  /// created by AddObservation).
+  ItemId AddItem(const std::string& item);
+
+  /// Registers a source with no votes yet.
+  SourceId AddSource(const std::string& source);
+
+  std::size_t num_items() const { return items_.size(); }
+  std::size_t num_sources() const { return sources_.size(); }
+
+  /// Finalizes the database. The builder can keep being used afterwards
+  /// (Build copies). Claim source lists and source vote lists are sorted.
+  Database Build() const;
+
+ private:
+  struct PendingItem {
+    std::string name;
+    std::vector<std::string> claim_values;
+    std::unordered_map<std::string, ClaimIndex> claim_index;
+  };
+  struct PendingSource {
+    std::string name;
+    std::unordered_map<ItemId, ClaimIndex> votes;
+  };
+
+  ItemId InternItem(const std::string& name);
+  SourceId InternSource(const std::string& name);
+
+  std::vector<PendingItem> items_;
+  std::vector<PendingSource> sources_;
+  std::unordered_map<std::string, ItemId> item_index_;
+  std::unordered_map<std::string, SourceId> source_index_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_MODEL_DATABASE_BUILDER_H_

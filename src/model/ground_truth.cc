@@ -1,0 +1,41 @@
+#include "model/ground_truth.h"
+
+namespace veritas {
+
+Status GroundTruth::Set(const Database& db, ItemId item, ClaimIndex claim) {
+  if (item >= db.num_items()) {
+    return Status::OutOfRange("item id out of range");
+  }
+  if (claim >= db.num_claims(item)) {
+    return Status::OutOfRange("claim index out of range for item '" +
+                              db.item(item).name + "'");
+  }
+  if (truth_.size() < db.num_items()) truth_.resize(db.num_items(), kInvalidClaim);
+  truth_[item] = claim;
+  return Status::OK();
+}
+
+Status GroundTruth::SetByValue(const Database& db, const std::string& item,
+                               const std::string& value) {
+  VERITAS_ASSIGN_OR_RETURN(ItemId item_id, db.FindItem(item));
+  VERITAS_ASSIGN_OR_RETURN(ClaimIndex claim, db.FindClaim(item_id, value));
+  return Set(db, item_id, claim);
+}
+
+std::size_t GroundTruth::num_known() const {
+  std::size_t n = 0;
+  for (ClaimIndex c : truth_) {
+    if (c != kInvalidClaim) ++n;
+  }
+  return n;
+}
+
+std::vector<ItemId> GroundTruth::KnownItems() const {
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < truth_.size(); ++i) {
+    if (truth_[i] != kInvalidClaim) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace veritas

@@ -1,0 +1,58 @@
+// Ground truth T: item -> true claim (paper's truth function, §4.2.1).
+// Truth may be partial: items without a known true claim are simply not
+// covered (matching the paper's silver standards).
+#ifndef VERITAS_MODEL_GROUND_TRUTH_H_
+#define VERITAS_MODEL_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "model/types.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Partial assignment of the true claim for items of one Database.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  /// Creates a truth table sized for `db` with no known truths.
+  explicit GroundTruth(const Database& db)
+      : truth_(db.num_items(), kInvalidClaim) {}
+
+  /// Marks `claim` as the true claim of `item`.
+  Status Set(const Database& db, ItemId item, ClaimIndex claim);
+
+  /// Marks the claim with value string `value` as true for `item`.
+  Status SetByValue(const Database& db, const std::string& item,
+                    const std::string& value);
+
+  /// True when the true claim of `item` is known.
+  bool Knows(ItemId item) const {
+    return item < truth_.size() && truth_[item] != kInvalidClaim;
+  }
+
+  /// The true claim of `item`; kInvalidClaim when unknown.
+  ClaimIndex TrueClaim(ItemId item) const {
+    return item < truth_.size() ? truth_[item] : kInvalidClaim;
+  }
+
+  /// Whether `claim` of `item` is the true one. Unknown items yield false.
+  bool IsTrue(ItemId item, ClaimIndex claim) const {
+    return Knows(item) && truth_[item] == claim;
+  }
+
+  /// Number of items with known truth.
+  std::size_t num_known() const;
+
+  /// Items with known truth.
+  std::vector<ItemId> KnownItems() const;
+
+ private:
+  std::vector<ClaimIndex> truth_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_MODEL_GROUND_TRUTH_H_

@@ -1,0 +1,53 @@
+// The graph of data items (paper Figure 2): two items are adjacent when at
+// least one source votes on both. Approx-MEU propagates validation impact to
+// one-hop neighbours in this graph (Theorem 4.1 justifies the truncation).
+//
+// Neighbour lists are computed on demand: for dense data (few sources, many
+// items) materializing all adjacency lists would be quadratic in the number
+// of items.
+#ifndef VERITAS_MODEL_ITEM_GRAPH_H_
+#define VERITAS_MODEL_ITEM_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/database.h"
+#include "model/types.h"
+
+namespace veritas {
+
+/// On-demand one-hop neighbourhood queries over the item graph.
+class ItemGraph {
+ public:
+  explicit ItemGraph(const Database& db);
+
+  /// Fills `out` with the distinct items (excluding `item` itself) that share
+  /// at least one source with `item`. Order is unspecified.
+  void CollectNeighbors(ItemId item, std::vector<ItemId>* out) const;
+
+  /// Number of one-hop neighbours of `item`.
+  std::size_t Degree(ItemId item) const;
+
+  /// Average one-hop degree over all items (exact; iterates every item).
+  double AverageDegree() const;
+
+  /// True when a path of alternating sources/items connects a and b.
+  /// (BFS over the item graph; used by diagnostics and tests.)
+  bool Connected(ItemId a, ItemId b) const;
+
+  /// Number of connected components of the item graph.
+  std::size_t NumComponents() const;
+
+  const Database& db() const { return db_; }
+
+ private:
+  const Database& db_;
+  // Scratch visit stamps, one per item, to deduplicate neighbours without
+  // clearing an array per query. Mutable: queries are logically const.
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t current_stamp_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_MODEL_ITEM_GRAPH_H_

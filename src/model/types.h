@@ -1,0 +1,47 @@
+// Fundamental identifier types for the fusion data model (paper §1.2).
+#ifndef VERITAS_MODEL_TYPES_H_
+#define VERITAS_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace veritas {
+
+/// Index of a data item o_i in a Database.
+using ItemId = std::uint32_t;
+
+/// Index of a source s_j in a Database.
+using SourceId = std::uint32_t;
+
+/// Index of a claim v_i^k within its item's claim list.
+using ClaimIndex = std::uint32_t;
+
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+inline constexpr SourceId kInvalidSource = std::numeric_limits<SourceId>::max();
+inline constexpr ClaimIndex kInvalidClaim =
+    std::numeric_limits<ClaimIndex>::max();
+
+/// A single observation psi_{j,i,k} = 1 from the perspective of a source:
+/// "source votes for claim `claim` of item `item`".
+struct Vote {
+  ItemId item = kInvalidItem;
+  ClaimIndex claim = kInvalidClaim;
+
+  bool operator==(const Vote& other) const {
+    return item == other.item && claim == other.claim;
+  }
+};
+
+/// The same observation from the perspective of an item.
+struct ItemVote {
+  SourceId source = kInvalidSource;
+  ClaimIndex claim = kInvalidClaim;
+
+  bool operator==(const ItemVote& other) const {
+    return source == other.source && claim == other.claim;
+  }
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_MODEL_TYPES_H_

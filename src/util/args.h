@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for the veritas_cli tool:
+// one positional command followed by --key value pairs and --flag switches.
+#ifndef VERITAS_UTIL_ARGS_H_
+#define VERITAS_UTIL_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace veritas {
+
+/// Parsed command line: `prog <command> [--key value | --flag]...`.
+class ArgMap {
+ public:
+  /// Parses argv. Every token starting with "--" is an option; if the next
+  /// token exists and is not an option, it becomes the value, otherwise the
+  /// option is a boolean flag. The first non-option token is the command.
+  static Result<ArgMap> Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// String option with fallback.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Integer option; InvalidArgument if present but unparsable.
+  Result<long> GetInt(const std::string& key, long fallback) const;
+
+  /// Double option; InvalidArgument if present but unparsable.
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// True when --key appeared (with or without a value).
+  bool GetBool(const std::string& key) const { return Has(key); }
+
+  /// Keys present (for error messages / debugging).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_ARGS_H_

@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace veritas {
+
+CsvRow ParseCsvLine(std::string_view line, char delim) {
+  CsvRow out;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Ignore stray carriage returns from CRLF files.
+    } else {
+      field.push_back(c);
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+std::string EscapeCsvField(std::string_view field, char delim) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvRow(const CsvRow& row, char delim) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    out += EscapeCsvField(row[i], delim);
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    rows.push_back(ParseCsvLine(line, delim));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char delim) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  for (const CsvRow& row : rows) {
+    out << FormatCsvRow(row, delim) << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace veritas

@@ -1,0 +1,39 @@
+// Minimal CSV reading/writing, sufficient for the (source,item,value) triple
+// files and ground-truth files used by data/loader.*. Supports RFC-4180-style
+// double-quoted fields containing the delimiter or escaped quotes.
+#ifndef VERITAS_UTIL_CSV_H_
+#define VERITAS_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace veritas {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line into fields. Handles quoted fields; does not
+/// handle embedded newlines (rows are line-delimited in Veritas files).
+CsvRow ParseCsvLine(std::string_view line, char delim = ',');
+
+/// Escapes a field for CSV output (quotes it when needed).
+std::string EscapeCsvField(std::string_view field, char delim = ',');
+
+/// Serializes a row.
+std::string FormatCsvRow(const CsvRow& row, char delim = ',');
+
+/// Reads an entire CSV file. Skips blank lines and lines starting with '#'.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        char delim = ',');
+
+/// Writes rows to a file, overwriting it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<CsvRow>& rows, char delim = ',');
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_CSV_H_

@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, in the spirit of absl::StatusOr<T>.
+#ifndef VERITAS_UTIL_RESULT_H_
+#define VERITAS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace veritas {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing the value of a failed Result is a programming error
+/// (checked with assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace veritas
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`. Usage:
+///   VERITAS_ASSIGN_OR_RETURN(auto db, LoadDatabase(path));
+#define VERITAS_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  VERITAS_ASSIGN_OR_RETURN_IMPL_(                            \
+      VERITAS_CONCAT_(_veritas_result_, __LINE__), lhs, rexpr)
+
+#define VERITAS_CONCAT_INNER_(a, b) a##b
+#define VERITAS_CONCAT_(a, b) VERITAS_CONCAT_INNER_(a, b)
+
+#define VERITAS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // VERITAS_UTIL_RESULT_H_

@@ -1,0 +1,56 @@
+// Small descriptive-statistics helpers used by the experiment harness
+// (Figure 9 correlation study, dataset characterization, timing summaries).
+#ifndef VERITAS_UTIL_STATS_H_
+#define VERITAS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace veritas {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for inputs with fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient of two equally sized vectors.
+/// Returns 0 when either input is degenerate (constant or < 2 points).
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Linearly interpolated quantile, q in [0, 1]; 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Minimum; 0 for empty input.
+double Min(const std::vector<double>& xs);
+
+/// Maximum; 0 for empty input.
+double Max(const std::vector<double>& xs);
+
+/// Online accumulator for mean/min/max/stddev without storing samples.
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Population variance (Welford).
+  double variance() const { return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_STATS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the efficiency experiments (Tables 11/12, Fig. 11b).
+#ifndef VERITAS_UTIL_TIMER_H_
+#define VERITAS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace veritas {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_TIMER_H_

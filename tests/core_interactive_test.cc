@@ -1,0 +1,152 @@
+// Tests of the InteractiveSession ask/answer API.
+#include "core/interactive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/approx_meu.h"
+#include "core/qbc.h"
+#include "core/us.h"
+#include "data/example_data.h"
+#include "fusion/accu.h"
+
+namespace veritas {
+namespace {
+
+class InteractiveTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+  GroundTruth truth_ = MakeMovieGroundTruth(db_);
+  AccuFusion model_;
+  UsStrategy strategy_;
+};
+
+TEST_F(InteractiveTest, SuggestsMostValuableItemWithContext) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  const auto suggestion = session.NextSuggestion();
+  ASSERT_TRUE(suggestion.ok());
+  // US's first pick on the movie example is Minions (Example 4.2).
+  EXPECT_EQ(suggestion->item_name, "Minions");
+  ASSERT_EQ(suggestion->claim_values.size(), 2u);
+  ASSERT_EQ(suggestion->current_probs.size(), 2u);
+  double sum = 0.0;
+  for (double p : suggestion->current_probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(InteractiveTest, SubmitFeedbackAdvancesTheLoop) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  const auto first = session.NextSuggestion();
+  ASSERT_TRUE(first.ok());
+  const double before = session.CurrentUncertainty();
+  ASSERT_TRUE(
+      session.SubmitExactFeedback(first->item, truth_.TrueClaim(first->item))
+          .ok());
+  EXPECT_EQ(session.num_validated(), 1u);
+  EXPECT_LT(session.CurrentUncertainty(), before);
+  const auto second = session.NextSuggestion();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->item, first->item);
+}
+
+TEST_F(InteractiveTest, SubmitByName) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  ASSERT_TRUE(session.SubmitExactFeedback("Zootopia", "Howard").ok());
+  const ItemId zootopia = *db_.FindItem("Zootopia");
+  EXPECT_DOUBLE_EQ(
+      session.fusion().prob(zootopia, *db_.FindClaim(zootopia, "Howard")),
+      1.0);
+}
+
+TEST_F(InteractiveTest, SubmitByNameRejectsUnknown) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  EXPECT_EQ(session.SubmitExactFeedback("Cars", "Lasseter").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.SubmitExactFeedback("Zootopia", "Lasseter").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(InteractiveTest, DistributionFeedback) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  const ItemId minions = *db_.FindItem("Minions");
+  ASSERT_TRUE(session.SubmitFeedback(minions, {0.8, 0.2}).ok());
+  EXPECT_DOUBLE_EQ(session.fusion().prob(minions, 0), 0.8);
+  EXPECT_EQ(session.SubmitFeedback(minions, {0.8, 0.8}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(InteractiveTest, ExhaustsSuggestionsGracefully) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  for (int i = 0; i < 5; ++i) {
+    const auto suggestion = session.NextSuggestion();
+    ASSERT_TRUE(suggestion.ok()) << i;
+    ASSERT_TRUE(session
+                    .SubmitExactFeedback(suggestion->item,
+                                         truth_.TrueClaim(suggestion->item))
+                    .ok());
+  }
+  // All 5 conflicting items validated.
+  EXPECT_EQ(session.NextSuggestion().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(InteractiveTest, BatchedSuggestions) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  const auto batch = session.NextSuggestions(3);
+  ASSERT_EQ(batch.size(), 3u);
+  std::set<ItemId> unique;
+  for (const Suggestion& s : batch) {
+    EXPECT_TRUE(unique.insert(s.item).second);
+    EXPECT_FALSE(s.item_name.empty());
+  }
+}
+
+TEST_F(InteractiveTest, RetractFeedbackRestoresState) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  const double initial_uncertainty = session.CurrentUncertainty();
+  const ItemId minions = *db_.FindItem("Minions");
+  ASSERT_TRUE(session.SubmitExactFeedback(minions, 0).ok());
+  ASSERT_NE(session.CurrentUncertainty(), initial_uncertainty);
+  ASSERT_TRUE(session.RetractFeedback(minions).ok());
+  EXPECT_EQ(session.num_validated(), 0u);
+  EXPECT_NEAR(session.CurrentUncertainty(), initial_uncertainty, 1e-9);
+}
+
+TEST_F(InteractiveTest, RetractUnknownFeedbackFails) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  EXPECT_EQ(session.RetractFeedback(0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(InteractiveTest, WorksWithGraphDependentStrategy) {
+  ApproxMeuStrategy approx;
+  InteractiveSession session(db_, model_, &approx,
+                             PaperExampleFusionOptions());
+  const auto suggestion = session.NextSuggestion();
+  ASSERT_TRUE(suggestion.ok());
+  EXPECT_TRUE(db_.HasConflict(suggestion->item));
+}
+
+TEST_F(InteractiveTest, QbcStateResetBetweenSessions) {
+  QbcStrategy qbc;
+  {
+    InteractiveSession session(db_, model_, &qbc,
+                               PaperExampleFusionOptions());
+    ASSERT_TRUE(session.NextSuggestion().ok());
+  }
+  // A new session with the same strategy instance must not inherit stale
+  // cached state.
+  InteractiveSession session(db_, model_, &qbc, PaperExampleFusionOptions());
+  const auto suggestion = session.NextSuggestion();
+  ASSERT_TRUE(suggestion.ok());
+  EXPECT_TRUE(db_.HasConflict(suggestion->item));
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,226 @@
+// Tests of the feedback oracles (§4.4).
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "data/example_data.h"
+
+namespace veritas {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+  GroundTruth truth_ = MakeMovieGroundTruth(db_);
+  Rng rng_{71};
+};
+
+double SumOf(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(SpreadDistributionTest, OneHot) {
+  const auto d = SpreadDistribution(3, 1, 1.0);
+  EXPECT_EQ(d, (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(SpreadDistributionTest, ConfidenceSpread) {
+  const auto d = SpreadDistribution(3, 0, 0.7);
+  EXPECT_NEAR(d[0], 0.7, 1e-12);
+  EXPECT_NEAR(d[1], 0.15, 1e-12);
+  EXPECT_NEAR(d[2], 0.15, 1e-12);
+}
+
+TEST(SpreadDistributionTest, ZeroTruthIsUniformOverRest) {
+  const auto d = SpreadDistribution(3, 2, 0.0);
+  EXPECT_NEAR(d[0], 0.5, 1e-12);
+  EXPECT_NEAR(d[1], 0.5, 1e-12);
+  EXPECT_NEAR(d[2], 0.0, 1e-12);
+}
+
+TEST(SpreadDistributionTest, SingleClaimAlwaysCertain) {
+  EXPECT_EQ(SpreadDistribution(1, 0, 0.3), (std::vector<double>{1.0}));
+}
+
+TEST_F(OracleTest, PerfectReturnsTruthOneHot) {
+  PerfectOracle oracle;
+  const ItemId zootopia = *db_.FindItem("Zootopia");
+  const auto answer = oracle.Answer(db_, zootopia, truth_, nullptr);
+  ASSERT_TRUE(answer.ok());
+  const ClaimIndex howard = *db_.FindClaim(zootopia, "Howard");
+  EXPECT_DOUBLE_EQ((*answer)[howard], 1.0);
+  EXPECT_NEAR(SumOf(*answer), 1.0, 1e-12);
+}
+
+TEST_F(OracleTest, PerfectFailsWithoutTruth) {
+  PerfectOracle oracle;
+  GroundTruth empty(db_);
+  const auto answer = oracle.Answer(db_, 0, empty, nullptr);
+  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OracleTest, PerfectRejectsBadItem) {
+  PerfectOracle oracle;
+  EXPECT_EQ(oracle.Answer(db_, 999, truth_, nullptr).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(OracleTest, ConfidenceAssignsStatedMass) {
+  ConfidenceOracle oracle(0.8);
+  const ItemId minions = *db_.FindItem("Minions");
+  const auto answer = oracle.Answer(db_, minions, truth_, nullptr);
+  ASSERT_TRUE(answer.ok());
+  const ClaimIndex coffin = *db_.FindClaim(minions, "Coffin");
+  EXPECT_NEAR((*answer)[coffin], 0.8, 1e-12);
+  EXPECT_NEAR(SumOf(*answer), 1.0, 1e-12);
+}
+
+TEST_F(OracleTest, ConfidenceOneIsPerfect) {
+  ConfidenceOracle oracle(1.0);
+  const ItemId minions = *db_.FindItem("Minions");
+  const auto answer = oracle.Answer(db_, minions, truth_, nullptr);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ((*answer)[truth_.TrueClaim(minions)], 1.0);
+}
+
+TEST_F(OracleTest, IncorrectZeroRateIsAlwaysRight) {
+  IncorrectOracle oracle(0.0);
+  const ItemId rio = *db_.FindItem("Rio");
+  for (int i = 0; i < 20; ++i) {
+    const auto answer = oracle.Answer(db_, rio, truth_, &rng_);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_DOUBLE_EQ((*answer)[truth_.TrueClaim(rio)], 1.0);
+  }
+}
+
+TEST_F(OracleTest, IncorrectFullRateZeroesTruth) {
+  IncorrectOracle oracle(1.0);
+  const ItemId rio = *db_.FindItem("Rio");
+  const auto answer = oracle.Answer(db_, rio, truth_, &rng_);
+  ASSERT_TRUE(answer.ok());
+  // §4.4(2): truth zeroed, uniform over the rest.
+  EXPECT_DOUBLE_EQ((*answer)[truth_.TrueClaim(rio)], 0.0);
+  EXPECT_NEAR(SumOf(*answer), 1.0, 1e-12);
+}
+
+TEST_F(OracleTest, IncorrectRateIsApproximatelyHonored) {
+  IncorrectOracle oracle(0.3);
+  const ItemId rio = *db_.FindItem("Rio");
+  int wrong = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto answer = oracle.Answer(db_, rio, truth_, &rng_);
+    ASSERT_TRUE(answer.ok());
+    if ((*answer)[truth_.TrueClaim(rio)] == 0.0) ++wrong;
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / n, 0.3, 0.03);
+}
+
+TEST_F(OracleTest, ConflictingZeroFractionIsPerfect) {
+  ConflictingOracle oracle(0.0, 0.5);
+  const ItemId rio = *db_.FindItem("Rio");
+  for (int i = 0; i < 20; ++i) {
+    const auto answer = oracle.Answer(db_, rio, truth_, &rng_);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_DOUBLE_EQ((*answer)[truth_.TrueClaim(rio)], 1.0);
+  }
+}
+
+TEST_F(OracleTest, ConflictingFullFractionUsesConsensus) {
+  ConflictingOracle oracle(1.0, 0.7);
+  const ItemId rio = *db_.FindItem("Rio");
+  const auto answer = oracle.Answer(db_, rio, truth_, &rng_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR((*answer)[truth_.TrueClaim(rio)], 0.7, 1e-12);
+  EXPECT_NEAR(SumOf(*answer), 1.0, 1e-12);
+}
+
+TEST_F(OracleTest, SingletonItemAnswersAreCertainRegardlessOfErrors) {
+  const ItemId dory = *db_.FindItem("Finding Dory");
+  IncorrectOracle incorrect(1.0);
+  const auto a = incorrect.Answer(db_, dory, truth_, &rng_);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, std::vector<double>{1.0});
+  ConflictingOracle conflicting(1.0, 0.2);
+  const auto b = conflicting.Answer(db_, dory, truth_, &rng_);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, std::vector<double>{1.0});
+}
+
+TEST_F(OracleTest, Names) {
+  EXPECT_EQ(PerfectOracle().name(), "perfect");
+  EXPECT_EQ(ConfidenceOracle(0.9).name(), "confidence:0.90");
+  EXPECT_EQ(IncorrectOracle(0.25).name(), "incorrect:0.25");
+  EXPECT_EQ(ConflictingOracle(0.3, 0.7).name(), "conflicting:0.30,0.70");
+}
+
+TEST(MakeOracleTest, ParsesAllSpecs) {
+  struct Case {
+    const char* spec;
+    const char* expected_name;
+  };
+  const Case cases[] = {
+      {"perfect", "perfect"},
+      {"confidence:0.9", "confidence:0.90"},
+      {"incorrect:0.25", "incorrect:0.25"},
+      {"conflicting:0.3,0.7", "conflicting:0.30,0.70"},
+  };
+  for (const Case& c : cases) {
+    auto oracle = MakeOracle(c.spec);
+    ASSERT_TRUE(oracle.ok()) << c.spec;
+    EXPECT_EQ((*oracle)->name(), c.expected_name);
+  }
+}
+
+TEST(MakeOracleTest, RejectsBadSpecs) {
+  EXPECT_EQ(MakeOracle("psychic").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(MakeOracle("confidence:abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeOracle("confidence:1.5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeOracle("incorrect:-0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeOracle("conflicting:0.5").status().code(),
+            StatusCode::kInvalidArgument);  // Needs two parameters.
+  EXPECT_EQ(MakeOracle("conflicting:0.5,2.0").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Every oracle's answer is always a valid distribution over the item's
+// claims — sweep all (oracle, item) combinations.
+class OracleDistributionTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleDistributionTest, AnswersAreDistributions) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  Rng rng(GetParam());
+  PerfectOracle perfect;
+  ConfidenceOracle confidence(0.85);
+  IncorrectOracle incorrect(0.4);
+  ConflictingOracle conflicting(0.5, 0.6);
+  for (FeedbackOracle* oracle :
+       std::initializer_list<FeedbackOracle*>{&perfect, &confidence,
+                                              &incorrect, &conflicting}) {
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+      const auto answer = oracle->Answer(db, i, truth, &rng);
+      ASSERT_TRUE(answer.ok()) << oracle->name();
+      ASSERT_EQ(answer->size(), db.num_claims(i));
+      double sum = 0.0;
+      for (double p : *answer) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << oracle->name() << " item " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleDistributionTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace veritas

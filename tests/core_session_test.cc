@@ -1,0 +1,262 @@
+// Tests of the FeedbackSession validation loop (§5's evaluation protocol).
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/qbc.h"
+#include "core/random_strategy.h"
+#include "core/us.h"
+#include "data/example_data.h"
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+
+namespace veritas {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+  GroundTruth truth_ = MakeMovieGroundTruth(db_);
+  AccuFusion model_;
+  Rng rng_{17};
+};
+
+TEST_F(SessionTest, ValidatesAllConflictingItems) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->steps.size(), 5u);  // 5 conflicting items.
+  EXPECT_EQ(trace->steps.back().num_validated, 5u);
+  EXPECT_EQ(trace->priors.size(), 5u);
+}
+
+TEST_F(SessionTest, PerfectFeedbackDrivesDistanceToZero) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  // All conflicting items pinned to truth; singletons are trivially right.
+  EXPECT_NEAR(trace->steps.back().distance, 0.0, 1e-9);
+  EXPECT_NEAR(trace->steps.back().uncertainty, 0.0, 1e-9);
+}
+
+TEST_F(SessionTest, MaxValidationsIsHonored) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  options.max_validations = 2;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->steps.size(), 2u);
+  EXPECT_EQ(trace->priors.size(), 2u);
+}
+
+TEST_F(SessionTest, CumulativeValidationCountsAreMonotone) {
+  RandomStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  std::size_t prev = 0;
+  for (const SessionStep& step : trace->steps) {
+    EXPECT_GT(step.num_validated, prev);
+    prev = step.num_validated;
+  }
+}
+
+TEST_F(SessionTest, BatchModeValidatesInGroups) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  options.batch_size = 2;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  // 5 conflicting items in batches of 2: 2 + 2 + 1.
+  ASSERT_EQ(trace->steps.size(), 3u);
+  EXPECT_EQ(trace->steps[0].items.size(), 2u);
+  EXPECT_EQ(trace->steps[1].items.size(), 2u);
+  EXPECT_EQ(trace->steps[2].items.size(), 1u);
+  EXPECT_EQ(trace->steps.back().num_validated, 5u);
+}
+
+TEST_F(SessionTest, BatchCappedByRemainingBudget) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  options.batch_size = 4;
+  options.max_validations = 3;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->priors.size(), 3u);
+}
+
+TEST_F(SessionTest, NoItemValidatedTwice) {
+  RandomStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  std::set<ItemId> validated;
+  for (const SessionStep& step : trace->steps) {
+    for (ItemId i : step.items) {
+      EXPECT_TRUE(validated.insert(i).second) << "item " << i << " repeated";
+    }
+  }
+}
+
+TEST_F(SessionTest, InitialMetricsRecorded) {
+  UsStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  options.max_validations = 1;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace->initial_distance, 0.0);
+  EXPECT_GT(trace->initial_uncertainty, 0.0);
+}
+
+TEST_F(SessionTest, ReductionPercentagesAreConsistent) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  const std::size_t last = trace->steps.size() - 1;
+  // Distance hits zero at the end, so the reduction is -100%.
+  EXPECT_NEAR(trace->DistanceReductionPercent(last), -100.0, 1e-6);
+  EXPECT_NEAR(trace->UncertaintyReductionPercent(last), -100.0, 1e-6);
+  // Out-of-range index is 0 by convention.
+  EXPECT_DOUBLE_EQ(trace->DistanceReductionPercent(999), 0.0);
+}
+
+TEST_F(SessionTest, FinalFusionMatchesPriors) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  for (ItemId i : trace->priors.Items()) {
+    EXPECT_DOUBLE_EQ(trace->final_fusion.prob(i, truth_.TrueClaim(i)), 1.0);
+  }
+}
+
+TEST_F(SessionTest, FailsWhenOracleCannotAnswer) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  GroundTruth empty(db_);  // No truth -> oracle must fail.
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, empty, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, WarmAndColdSessionsAgreeOnFinalState) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions warm_opts;
+  warm_opts.warm_start = true;
+  SessionOptions cold_opts;
+  cold_opts.warm_start = false;
+  Rng rng_a(5), rng_b(5);
+  FeedbackSession warm(db_, model_, &strategy, &oracle, truth_, warm_opts,
+                       &rng_a);
+  const auto warm_trace = warm.Run();
+  strategy.Reset();
+  FeedbackSession cold(db_, model_, &strategy, &oracle, truth_, cold_opts,
+                       &rng_b);
+  const auto cold_trace = cold.Run();
+  ASSERT_TRUE(warm_trace.ok());
+  ASSERT_TRUE(cold_trace.ok());
+  EXPECT_NEAR(warm_trace->steps.back().distance,
+              cold_trace->steps.back().distance, 1e-6);
+}
+
+TEST_F(SessionTest, MeanSelectSecondsIsFinite) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace->MeanSelectSeconds(), 0.0);
+  EXPECT_LT(trace->MeanSelectSeconds(), 10.0);
+}
+
+TEST_F(SessionTest, RecordMetricsOffSkipsMetricComputation) {
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  options.record_metrics = false;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  for (const SessionStep& step : trace->steps) {
+    EXPECT_DOUBLE_EQ(step.distance, 0.0);
+    EXPECT_DOUBLE_EQ(step.uncertainty, 0.0);
+  }
+}
+
+TEST_F(SessionTest, NoisyOracleSessionStillTerminates) {
+  RandomStrategy strategy;
+  IncorrectOracle oracle(0.5);
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->steps.back().num_validated, 5u);
+}
+
+TEST_F(SessionTest, LargerSyntheticSessionReachesZeroDistance) {
+  DenseConfig config;
+  config.num_items = 80;
+  config.num_sources = 12;
+  config.density = 0.5;
+  config.seed = 8;
+  const SyntheticDataset data = GenerateDense(config);
+  QbcStrategy strategy;
+  PerfectOracle oracle;
+  SessionOptions options;
+  Rng rng(3);
+  FeedbackSession session(data.db, model_, &strategy, &oracle, data.truth,
+                          options, &rng);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  // All conflicting items validated with the truth; the only remaining
+  // distance would come from items whose true claim no source provided
+  // (those are non-conflicting and not validatable).
+  for (ItemId i : data.db.ConflictingItems()) {
+    EXPECT_TRUE(trace->priors.Has(i));
+  }
+  EXPECT_LT(trace->steps.back().distance, trace->initial_distance);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,260 @@
+// Tests of the crowd substrate: simulated worker pool, majority and EM
+// consolidation, and the CrowdOracle feedback pipeline (§4.4).
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "core/qbc.h"
+#include "crowd/consolidation.h"
+#include "crowd/worker_pool.h"
+#include "data/example_data.h"
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+
+namespace veritas {
+namespace {
+
+WorkerPoolConfig SmallPool() {
+  WorkerPoolConfig config;
+  config.num_workers = 10;
+  config.accuracy_mean = 0.8;
+  config.accuracy_sd = 0.1;
+  config.answers_per_item = 5;
+  config.seed = 5;
+  return config;
+}
+
+TEST(WorkerPoolTest, AccuraciesWithinBounds) {
+  WorkerPool pool(SmallPool());
+  EXPECT_EQ(pool.num_workers(), 10u);
+  for (WorkerId w = 0; w < pool.num_workers(); ++w) {
+    EXPECT_GE(pool.true_accuracy(w), 0.05);
+    EXPECT_LE(pool.true_accuracy(w), 0.99);
+  }
+}
+
+TEST(WorkerPoolTest, AskReturnsDistinctWorkers) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  WorkerPool pool(SmallPool());
+  const auto answers = pool.Ask(db, *db.FindItem("Minions"), truth);
+  ASSERT_EQ(answers.size(), 5u);
+  std::set<WorkerId> workers;
+  for (const WorkerAnswer& a : answers) {
+    EXPECT_TRUE(workers.insert(a.worker).second);
+    EXPECT_LT(a.claim, db.num_claims(*db.FindItem("Minions")));
+  }
+}
+
+TEST(WorkerPoolTest, AskCappedByPoolSize) {
+  WorkerPoolConfig config = SmallPool();
+  config.num_workers = 3;
+  config.answers_per_item = 10;
+  WorkerPool pool(config);
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  EXPECT_EQ(pool.Ask(db, 0, truth).size(), 3u);
+}
+
+TEST(WorkerPoolTest, AnswerAccuracyTracksWorkerAccuracy) {
+  WorkerPoolConfig config = SmallPool();
+  config.num_workers = 1;
+  config.accuracy_mean = 0.9;
+  config.accuracy_sd = 0.0;
+  config.answers_per_item = 1;
+  WorkerPool pool(config);
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  const ItemId minions = *db.FindItem("Minions");
+  int correct = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const auto answers = pool.Ask(db, minions, truth);
+    if (answers[0].claim == truth.TrueClaim(minions)) ++correct;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, pool.true_accuracy(0), 0.03);
+}
+
+TEST(WorkerPoolTest, AnswerCountsTracked) {
+  WorkerPool pool(SmallPool());
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  pool.Ask(db, 0, truth);
+  pool.Ask(db, 1, truth);
+  std::size_t total = 0;
+  for (std::size_t c : pool.answer_counts()) total += c;
+  EXPECT_EQ(total, 10u);  // 2 items x 5 answers.
+}
+
+TEST(MajorityConsolidationTest, CountsAnswers) {
+  ItemAnswers answers;
+  answers.num_claims = 3;
+  answers.answers = {{0, 0}, {1, 0}, {2, 1}, {3, 0}, {4, 2}};
+  const auto dist = ConsolidateByMajority(answers);
+  EXPECT_NEAR(dist[0], 0.6, 1e-12);
+  EXPECT_NEAR(dist[1], 0.2, 1e-12);
+  EXPECT_NEAR(dist[2], 0.2, 1e-12);
+}
+
+TEST(MajorityConsolidationTest, NoAnswersIsUniform) {
+  ItemAnswers answers;
+  answers.num_claims = 2;
+  const auto dist = ConsolidateByMajority(answers);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+}
+
+TEST(EmConsolidationTest, UnanimousAnswersConverge) {
+  std::vector<ItemAnswers> items(1);
+  items[0].num_claims = 2;
+  items[0].answers = {{0, 1}, {1, 1}, {2, 1}};
+  const EmConsolidation em = ConsolidateByEm(items, 3);
+  EXPECT_TRUE(em.converged);
+  EXPECT_GT(em.item_distributions[0][1], 0.95);
+}
+
+TEST(EmConsolidationTest, OutvotesUnreliableWorker) {
+  // Worker 0 disagrees with workers 1..3 on every item; EM should learn
+  // worker 0 is unreliable and side with the majority — including on an
+  // item where only worker 0 and worker 1 answered.
+  std::vector<ItemAnswers> items;
+  for (int i = 0; i < 6; ++i) {
+    ItemAnswers item;
+    item.num_claims = 2;
+    item.answers = {{0, 0}, {1, 1}, {2, 1}, {3, 1}};
+    items.push_back(item);
+  }
+  ItemAnswers tie;  // Worker 0 says claim 0, worker 1 says claim 1.
+  tie.num_claims = 2;
+  tie.answers = {{0, 0}, {1, 1}};
+  items.push_back(tie);
+
+  const EmConsolidation em = ConsolidateByEm(items, 4);
+  EXPECT_LT(em.worker_accuracies[0], em.worker_accuracies[1]);
+  // The tie breaks toward the reliable worker.
+  EXPECT_GT(em.item_distributions.back()[1], 0.5);
+}
+
+TEST(EmConsolidationTest, DistributionsValid) {
+  std::vector<ItemAnswers> items(3);
+  items[0].num_claims = 2;
+  items[0].answers = {{0, 0}, {1, 1}};
+  items[1].num_claims = 3;
+  items[1].answers = {{0, 2}, {1, 2}, {2, 0}};
+  items[2].num_claims = 2;
+  items[2].answers = {{2, 0}};
+  const EmConsolidation em = ConsolidateByEm(items, 3);
+  for (const auto& dist : em.item_distributions) {
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (double a : em.worker_accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(EmConsolidationTest, RecoverWorkerQualityOnSimulatedCrowd) {
+  // Generate many items answered by the pool and check EM ranks the best
+  // and worst workers correctly.
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  WorkerPoolConfig config;
+  config.num_workers = 8;
+  config.accuracy_mean = 0.75;
+  config.accuracy_sd = 0.15;
+  config.answers_per_item = 8;  // Everyone answers.
+  config.seed = 17;
+  WorkerPool pool(config);
+
+  std::vector<ItemAnswers> history;
+  for (int round = 0; round < 40; ++round) {
+    for (ItemId i : db.ConflictingItems()) {
+      ItemAnswers item;
+      item.item = i;
+      item.num_claims = db.num_claims(i);
+      item.answers = pool.Ask(db, i, truth);
+      history.push_back(item);
+    }
+  }
+  const EmConsolidation em = ConsolidateByEm(history, pool.num_workers());
+  WorkerId best = 0, worst = 0;
+  for (WorkerId w = 1; w < pool.num_workers(); ++w) {
+    if (pool.true_accuracy(w) > pool.true_accuracy(best)) best = w;
+    if (pool.true_accuracy(w) < pool.true_accuracy(worst)) worst = w;
+  }
+  EXPECT_GT(em.worker_accuracies[best], em.worker_accuracies[worst]);
+}
+
+TEST(CrowdOracleTest, MajorityModeAnswersAreDistributions) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  WorkerPool pool(SmallPool());
+  CrowdOracle oracle(&pool, CrowdOracle::Mode::kMajority);
+  EXPECT_EQ(oracle.name(), "crowd:majority");
+  const auto answer = oracle.Answer(db, *db.FindItem("Minions"), truth,
+                                    nullptr);
+  ASSERT_TRUE(answer.ok());
+  double sum = 0.0;
+  for (double p : *answer) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(oracle.history().size(), 1u);
+}
+
+TEST(CrowdOracleTest, EmModeUsesHistory) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  WorkerPool pool(SmallPool());
+  CrowdOracle oracle(&pool, CrowdOracle::Mode::kEm);
+  EXPECT_EQ(oracle.name(), "crowd:em");
+  for (ItemId i : db.ConflictingItems()) {
+    const auto answer = oracle.Answer(db, i, truth, nullptr);
+    ASSERT_TRUE(answer.ok());
+  }
+  EXPECT_EQ(oracle.history().size(), 5u);
+}
+
+TEST(CrowdOracleTest, RequiresTruth) {
+  const Database db = MakeMovieDatabase();
+  GroundTruth empty(db);
+  WorkerPool pool(SmallPool());
+  CrowdOracle oracle(&pool, CrowdOracle::Mode::kMajority);
+  EXPECT_EQ(oracle.Answer(db, 0, empty, nullptr).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CrowdOracleTest, FullSessionWithCrowdFeedback) {
+  DenseConfig config;
+  config.num_items = 60;
+  config.num_sources = 10;
+  config.density = 0.5;
+  config.seed = 33;
+  const SyntheticDataset data = GenerateDense(config);
+  WorkerPoolConfig pool_config;
+  pool_config.num_workers = 15;
+  pool_config.accuracy_mean = 0.85;
+  pool_config.answers_per_item = 7;
+  pool_config.seed = 2;
+  WorkerPool pool(pool_config);
+  CrowdOracle oracle(&pool, CrowdOracle::Mode::kEm);
+
+  AccuFusion model;
+  QbcStrategy strategy;
+  SessionOptions options;
+  options.max_validations = 15;
+  Rng rng(4);
+  FeedbackSession session(data.db, model, &strategy, &oracle, data.truth,
+                          options, &rng);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->priors.size(), 15u);
+  // A reasonably accurate crowd should still improve fusion.
+  EXPECT_LT(trace->steps.back().distance, trace->initial_distance);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,165 @@
+// Tests of claim-value canonicalization (the paper's 10-minute flights
+// preprocessing).
+#include "data/canonicalize.h"
+
+#include <gtest/gtest.h>
+
+#include "model/database_builder.h"
+
+namespace veritas {
+namespace {
+
+TEST(ParseNumericValueTest, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseNumericValue("42", false), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseNumericValue("-3.5", false), -3.5);
+  EXPECT_DOUBLE_EQ(*ParseNumericValue("0", false), 0.0);
+}
+
+TEST(ParseNumericValueTest, ClockTimes) {
+  EXPECT_DOUBLE_EQ(*ParseNumericValue("14:30", true), 14 * 60 + 30);
+  EXPECT_DOUBLE_EQ(*ParseNumericValue("0:05", true), 5.0);
+  EXPECT_DOUBLE_EQ(*ParseNumericValue("23:59", true), 23 * 60 + 59);
+}
+
+TEST(ParseNumericValueTest, ClockTimesDisabled) {
+  EXPECT_FALSE(ParseNumericValue("14:30", false).has_value());
+}
+
+TEST(ParseNumericValueTest, Rejections) {
+  EXPECT_FALSE(ParseNumericValue("", true).has_value());
+  EXPECT_FALSE(ParseNumericValue("abc", true).has_value());
+  EXPECT_FALSE(ParseNumericValue("12:3", true).has_value());   // 1-digit mins.
+  EXPECT_FALSE(ParseNumericValue("25:00", true).has_value());  // Bad hour.
+  EXPECT_FALSE(ParseNumericValue("12:61", true).has_value());  // Bad minute.
+  EXPECT_FALSE(ParseNumericValue("12:", true).has_value());
+  EXPECT_FALSE(ParseNumericValue(":30", true).has_value());
+  EXPECT_FALSE(ParseNumericValue("12a", true).has_value());
+}
+
+Database FlightTimes() {
+  DatabaseBuilder builder;
+  // Three sources report close times, one reports a very different time.
+  EXPECT_TRUE(builder.AddObservation("s1", "UA100-arr", "14:30").ok());
+  EXPECT_TRUE(builder.AddObservation("s2", "UA100-arr", "14:35").ok());
+  EXPECT_TRUE(builder.AddObservation("s3", "UA100-arr", "14:38").ok());
+  EXPECT_TRUE(builder.AddObservation("s4", "UA100-arr", "16:00").ok());
+  return builder.Build();
+}
+
+TEST(CanonicalizeTest, MergesValuesWithinTolerance) {
+  const Database db = FlightTimes();
+  ASSERT_EQ(db.num_claims(0), 4u);
+  const auto report = CanonicalizeValues(db, CanonicalizeOptions{});
+  ASSERT_TRUE(report.ok());
+  // 14:30/14:35/14:38 chain-merge (gaps 5 and 3 <= 10); 16:00 stays.
+  EXPECT_EQ(report->db.num_claims(0), 2u);
+  EXPECT_EQ(report->merged_claims, 2u);
+  EXPECT_EQ(report->numeric_items, 1u);
+  // Votes preserved: 3 on the merged claim, 1 on 16:00.
+  const ItemId item = *report->db.FindItem("UA100-arr");
+  std::size_t total_votes = 0;
+  for (const Claim& claim : report->db.item(item).claims) {
+    total_votes += claim.sources.size();
+  }
+  EXPECT_EQ(total_votes, 4u);
+}
+
+TEST(CanonicalizeTest, RepresentativeIsMostVoted) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "x", "100").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "x", "105").ok());
+  ASSERT_TRUE(builder.AddObservation("s3", "x", "105").ok());
+  const auto report = CanonicalizeValues(builder.Build());
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->db.num_claims(0), 1u);
+  EXPECT_EQ(report->db.item(0).claims[0].value, "105");
+}
+
+TEST(CanonicalizeTest, NoMergeBeyondTolerance) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "x", "100").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "x", "150").ok());
+  const auto report = CanonicalizeValues(builder.Build());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->db.num_claims(0), 2u);
+  EXPECT_EQ(report->merged_claims, 0u);
+}
+
+TEST(CanonicalizeTest, NonNumericValuesUntouched) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "book", "Knuth").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "book", "Knueth").ok());
+  const auto report = CanonicalizeValues(builder.Build());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->db.num_claims(0), 2u);
+  EXPECT_EQ(report->numeric_items, 0u);
+}
+
+TEST(CanonicalizeTest, MixedNumericAndLiteralClaims) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "x", "10").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "x", "12").ok());
+  ASSERT_TRUE(builder.AddObservation("s3", "x", "unknown").ok());
+  const auto report = CanonicalizeValues(builder.Build());
+  ASSERT_TRUE(report.ok());
+  // 10/12 merge; "unknown" survives.
+  EXPECT_EQ(report->db.num_claims(0), 2u);
+  EXPECT_TRUE(report->db.FindClaim(0, "unknown").ok());
+}
+
+TEST(CanonicalizeTest, SourceVotingForTwoMergedValuesCollapses) {
+  // Two items: on "y", s1 votes 20 and s2 votes 21 -> merge; both vote the
+  // same canonical value afterwards.
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "y", "20").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "y", "21").ok());
+  const auto report = CanonicalizeValues(builder.Build());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->db.num_claims(0), 1u);
+  EXPECT_EQ(report->db.item(0).claims[0].sources.size(), 2u);
+}
+
+TEST(CanonicalizeTest, ChainMergingIsSingleLinkage) {
+  // 0, 8, 16, 24: each adjacent gap is 8 <= 10, so ALL merge even though
+  // the extremes are 24 apart (single linkage, as with time-lag chains).
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "x", "0").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "x", "8").ok());
+  ASSERT_TRUE(builder.AddObservation("s3", "x", "16").ok());
+  ASSERT_TRUE(builder.AddObservation("s4", "x", "24").ok());
+  const auto report = CanonicalizeValues(builder.Build());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->db.num_claims(0), 1u);
+}
+
+TEST(CanonicalizeTest, ZeroToleranceMergesExactDuplicatesOnly) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "x", "5").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "x", "5.0").ok());  // Same number.
+  ASSERT_TRUE(builder.AddObservation("s3", "x", "6").ok());
+  CanonicalizeOptions options;
+  options.numeric_tolerance = 0.0;
+  const auto report = CanonicalizeValues(builder.Build(), options);
+  ASSERT_TRUE(report.ok());
+  // "5" and "5.0" parse equal -> merge; "6" stays.
+  EXPECT_EQ(report->db.num_claims(0), 2u);
+}
+
+TEST(CanonicalizeTest, NegativeToleranceRejected) {
+  CanonicalizeOptions options;
+  options.numeric_tolerance = -1.0;
+  const auto report = CanonicalizeValues(FlightTimes(), options);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CanonicalizeTest, PreservesItemAndSourceUniverse) {
+  const Database db = FlightTimes();
+  const auto report = CanonicalizeValues(db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->db.num_items(), db.num_items());
+  EXPECT_EQ(report->db.num_sources(), db.num_sources());
+  EXPECT_EQ(report->db.num_observations(), db.num_observations());
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,57 @@
+// Tests of dataset statistics (Table 10 / Figure 8 support).
+#include "data/dataset_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/example_data.h"
+#include "model/database_builder.h"
+
+namespace veritas {
+namespace {
+
+TEST(DatasetStatsTest, MovieExample) {
+  const Database db = MakeMovieDatabase();
+  const DatasetStats stats = ComputeStats(db);
+  EXPECT_EQ(stats.items, 6u);
+  EXPECT_EQ(stats.sources, 4u);
+  EXPECT_EQ(stats.observations, 12u);
+  EXPECT_EQ(stats.distinct_claims, 11u);
+  EXPECT_EQ(stats.conflicting_items, 5u);
+  EXPECT_NEAR(stats.density, 12.0 / (6.0 * 4.0), 1e-12);
+  EXPECT_NEAR(stats.avg_claims_per_item, 11.0 / 6.0, 1e-12);
+  EXPECT_NEAR(stats.avg_votes_per_item, 2.0, 1e-12);
+}
+
+TEST(DatasetStatsTest, EmptyDatabase) {
+  DatabaseBuilder builder;
+  const DatasetStats stats = ComputeStats(builder.Build());
+  EXPECT_EQ(stats.items, 0u);
+  EXPECT_DOUBLE_EQ(stats.density, 0.0);
+  EXPECT_DOUBLE_EQ(stats.avg_claims_per_item, 0.0);
+}
+
+TEST(SourceCoveragesTest, MovieExample) {
+  const Database db = MakeMovieDatabase();
+  const auto coverages = SourceCoverages(db);
+  ASSERT_EQ(coverages.size(), 4u);
+  // S3 votes on 4 of 6 items.
+  EXPECT_NEAR(coverages[*db.FindSource("S3")], 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(coverages[*db.FindSource("S4")], 2.0 / 6.0, 1e-12);
+}
+
+TEST(CoverageBelowTest, Thresholds) {
+  const Database db = MakeMovieDatabase();
+  // Coverages: S1 = S2 = 0.5, S3 = 0.667, S4 = 0.333.
+  EXPECT_DOUBLE_EQ(CoverageBelow(db, 0.34), 0.25);   // Only S4.
+  EXPECT_DOUBLE_EQ(CoverageBelow(db, 0.51), 0.75);   // S1, S2, S4.
+  EXPECT_DOUBLE_EQ(CoverageBelow(db, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageBelow(db, 0.0), 0.0);
+}
+
+TEST(CoverageBelowTest, EmptyDatabase) {
+  DatabaseBuilder builder;
+  EXPECT_DOUBLE_EQ(CoverageBelow(builder.Build(), 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,90 @@
+#include "fusion/priors.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/example_data.h"
+
+namespace veritas {
+namespace {
+
+class PriorSetTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+};
+
+TEST_F(PriorSetTest, EmptyByDefault) {
+  PriorSet priors;
+  EXPECT_TRUE(priors.empty());
+  EXPECT_EQ(priors.size(), 0u);
+  EXPECT_FALSE(priors.Has(0));
+}
+
+TEST_F(PriorSetTest, SetExactIsOneHot) {
+  PriorSet priors;
+  const ItemId zootopia = *db_.FindItem("Zootopia");
+  ASSERT_TRUE(priors.SetExact(db_, zootopia, 0).ok());
+  ASSERT_TRUE(priors.Has(zootopia));
+  const auto& dist = priors.Get(zootopia);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  EXPECT_DOUBLE_EQ(dist[1], 0.0);
+}
+
+TEST_F(PriorSetTest, SetExactValidatesRanges) {
+  PriorSet priors;
+  EXPECT_EQ(priors.SetExact(db_, 999, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(priors.SetExact(db_, 0, 7).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PriorSetTest, SetDistributionValidatesShape) {
+  PriorSet priors;
+  EXPECT_EQ(priors.SetDistribution(db_, 0, {0.5}).code(),
+            StatusCode::kInvalidArgument);  // Wrong arity.
+  EXPECT_EQ(priors.SetDistribution(db_, 0, {0.7, 0.7}).code(),
+            StatusCode::kInvalidArgument);  // Does not sum to 1.
+  EXPECT_EQ(priors.SetDistribution(db_, 0, {1.5, -0.5}).code(),
+            StatusCode::kInvalidArgument);  // Out of [0, 1].
+  EXPECT_TRUE(priors.SetDistribution(db_, 0, {0.3, 0.7}).ok());
+}
+
+TEST_F(PriorSetTest, OverwriteReplaces) {
+  PriorSet priors;
+  ASSERT_TRUE(priors.SetExact(db_, 0, 0).ok());
+  ASSERT_TRUE(priors.SetDistribution(db_, 0, {0.2, 0.8}).ok());
+  EXPECT_DOUBLE_EQ(priors.Get(0)[1], 0.8);
+  EXPECT_EQ(priors.size(), 1u);
+}
+
+TEST_F(PriorSetTest, EraseAndClear) {
+  PriorSet priors;
+  ASSERT_TRUE(priors.SetExact(db_, 0, 0).ok());
+  ASSERT_TRUE(priors.SetExact(db_, 1, 0).ok());
+  priors.Erase(0);
+  EXPECT_FALSE(priors.Has(0));
+  EXPECT_TRUE(priors.Has(1));
+  priors.Clear();
+  EXPECT_TRUE(priors.empty());
+}
+
+TEST_F(PriorSetTest, ItemsEnumeration) {
+  PriorSet priors;
+  ASSERT_TRUE(priors.SetExact(db_, 2, 0).ok());
+  ASSERT_TRUE(priors.SetExact(db_, 4, 0).ok());
+  auto items = priors.Items();
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<ItemId>{2, 4}));
+}
+
+TEST_F(PriorSetTest, CopySemantics) {
+  PriorSet priors;
+  ASSERT_TRUE(priors.SetExact(db_, 0, 0).ok());
+  PriorSet copy = priors;
+  ASSERT_TRUE(copy.SetExact(db_, 1, 0).ok());
+  EXPECT_EQ(priors.size(), 1u);  // Original untouched.
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+}  // namespace
+}  // namespace veritas

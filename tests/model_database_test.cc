@@ -1,0 +1,163 @@
+#include "model/database.h"
+
+#include <gtest/gtest.h>
+
+#include "data/example_data.h"
+#include "model/database_builder.h"
+
+namespace veritas {
+namespace {
+
+TEST(DatabaseBuilderTest, EmptyBuild) {
+  DatabaseBuilder builder;
+  const Database db = builder.Build();
+  EXPECT_EQ(db.num_items(), 0u);
+  EXPECT_EQ(db.num_sources(), 0u);
+  EXPECT_EQ(db.num_claims(), 0u);
+  EXPECT_EQ(db.num_observations(), 0u);
+}
+
+TEST(DatabaseBuilderTest, SingleObservation) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s", "o", "v").ok());
+  const Database db = builder.Build();
+  EXPECT_EQ(db.num_items(), 1u);
+  EXPECT_EQ(db.num_sources(), 1u);
+  EXPECT_EQ(db.num_claims(), 1u);
+  EXPECT_EQ(db.num_observations(), 1u);
+  EXPECT_EQ(db.item(0).name, "o");
+  EXPECT_EQ(db.item(0).claims[0].value, "v");
+  ASSERT_EQ(db.item(0).claims[0].sources.size(), 1u);
+  EXPECT_EQ(db.source(0).name, "s");
+}
+
+TEST(DatabaseBuilderTest, DuplicateSameValueIsIdempotent) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s", "o", "v").ok());
+  ASSERT_TRUE(builder.AddObservation("s", "o", "v").ok());
+  const Database db = builder.Build();
+  EXPECT_EQ(db.num_observations(), 1u);
+}
+
+TEST(DatabaseBuilderTest, ConflictingDoubleVoteRejected) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s", "o", "v1").ok());
+  const Status st = builder.AddObservation("s", "o", "v2");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseBuilderTest, InterningIsStable) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s1", "o1", "a").ok());
+  ASSERT_TRUE(builder.AddObservation("s2", "o1", "b").ok());
+  ASSERT_TRUE(builder.AddObservation("s1", "o2", "c").ok());
+  const Database db = builder.Build();
+  EXPECT_EQ(db.num_items(), 2u);
+  EXPECT_EQ(db.num_sources(), 2u);
+  // o1 has two claims, o2 one.
+  EXPECT_EQ(db.num_claims(0), 2u);
+  EXPECT_EQ(db.num_claims(1), 1u);
+}
+
+TEST(DatabaseBuilderTest, AddItemAndSourceWithoutVotes) {
+  DatabaseBuilder builder;
+  const ItemId item = builder.AddItem("lonely");
+  const SourceId source = builder.AddSource("mute");
+  const Database db = builder.Build();
+  EXPECT_EQ(db.item(item).name, "lonely");
+  EXPECT_TRUE(db.item(item).claims.empty());
+  EXPECT_EQ(db.source(source).name, "mute");
+  EXPECT_TRUE(db.source(source).votes.empty());
+}
+
+TEST(DatabaseBuilderTest, BuildIsRepeatable) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s", "o", "v").ok());
+  const Database a = builder.Build();
+  const Database b = builder.Build();
+  EXPECT_EQ(a.num_items(), b.num_items());
+  EXPECT_EQ(a.num_observations(), b.num_observations());
+}
+
+class MovieDatabaseTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+};
+
+TEST_F(MovieDatabaseTest, Table1Shape) {
+  EXPECT_EQ(db_.num_items(), 6u);
+  EXPECT_EQ(db_.num_sources(), 4u);
+  // 2+2+2+1+2+2 = 11 distinct claims (§1.1).
+  EXPECT_EQ(db_.num_claims(), 11u);
+  // 3+2+2+1+2+2 = 12 observations.
+  EXPECT_EQ(db_.num_observations(), 12u);
+}
+
+TEST_F(MovieDatabaseTest, FindItemAndSource) {
+  const auto zootopia = db_.FindItem("Zootopia");
+  ASSERT_TRUE(zootopia.ok());
+  EXPECT_EQ(*zootopia, 0u);
+  EXPECT_FALSE(db_.FindItem("Cars").ok());
+  ASSERT_TRUE(db_.FindSource("S3").ok());
+  EXPECT_FALSE(db_.FindSource("S9").ok());
+}
+
+TEST_F(MovieDatabaseTest, FindClaim) {
+  const ItemId rio = *db_.FindItem("Rio");
+  ASSERT_TRUE(db_.FindClaim(rio, "Jones").ok());
+  ASSERT_TRUE(db_.FindClaim(rio, "Saldanha").ok());
+  const auto missing = db_.FindClaim(rio, "Spielberg");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MovieDatabaseTest, ClaimSources) {
+  // Spencer on Zootopia is claimed by S3 and S4 (Example 1.1 analog).
+  const ItemId zootopia = *db_.FindItem("Zootopia");
+  const ClaimIndex spencer = *db_.FindClaim(zootopia, "Spencer");
+  const auto& sources = db_.item(zootopia).claims[spencer].sources;
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(db_.source(sources[0]).name, "S3");
+  EXPECT_EQ(db_.source(sources[1]).name, "S4");
+}
+
+TEST_F(MovieDatabaseTest, ItemVotes) {
+  const ItemId zootopia = *db_.FindItem("Zootopia");
+  EXPECT_EQ(db_.item_votes(zootopia).size(), 3u);
+  const ItemId dory = *db_.FindItem("Finding Dory");
+  EXPECT_EQ(db_.item_votes(dory).size(), 1u);
+}
+
+TEST_F(MovieDatabaseTest, SourceDegree) {
+  // N(S1) = 3 (Kung Fu Panda, Minions, Rio), N(S4) = 2.
+  EXPECT_EQ(db_.source_degree(*db_.FindSource("S1")), 3u);
+  EXPECT_EQ(db_.source_degree(*db_.FindSource("S2")), 3u);
+  EXPECT_EQ(db_.source_degree(*db_.FindSource("S3")), 4u);
+  EXPECT_EQ(db_.source_degree(*db_.FindSource("S4")), 2u);
+}
+
+TEST_F(MovieDatabaseTest, HasConflictAndConflictingItems) {
+  EXPECT_TRUE(db_.HasConflict(*db_.FindItem("Zootopia")));
+  EXPECT_FALSE(db_.HasConflict(*db_.FindItem("Finding Dory")));
+  const auto conflicting = db_.ConflictingItems();
+  EXPECT_EQ(conflicting.size(), 5u);  // All but Finding Dory.
+}
+
+TEST_F(MovieDatabaseTest, ClaimOf) {
+  const SourceId s3 = *db_.FindSource("S3");
+  const ItemId zootopia = *db_.FindItem("Zootopia");
+  const ItemId dory = *db_.FindItem("Finding Dory");
+  EXPECT_EQ(db_.ClaimOf(s3, zootopia), *db_.FindClaim(zootopia, "Spencer"));
+  EXPECT_EQ(db_.ClaimOf(s3, dory), kInvalidClaim);
+}
+
+TEST_F(MovieDatabaseTest, SourceVotesSortedByItem) {
+  for (SourceId j = 0; j < db_.num_sources(); ++j) {
+    const auto& votes = db_.source(j).votes;
+    for (std::size_t k = 1; k < votes.size(); ++k) {
+      EXPECT_LT(votes[k - 1].item, votes[k].item);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace veritas

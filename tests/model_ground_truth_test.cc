@@ -1,0 +1,112 @@
+#include "model/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "data/example_data.h"
+
+namespace veritas {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+};
+
+TEST_F(GroundTruthTest, EmptyKnowsNothing) {
+  GroundTruth truth(db_);
+  EXPECT_EQ(truth.num_known(), 0u);
+  for (ItemId i = 0; i < db_.num_items(); ++i) {
+    EXPECT_FALSE(truth.Knows(i));
+    EXPECT_EQ(truth.TrueClaim(i), kInvalidClaim);
+  }
+}
+
+TEST_F(GroundTruthTest, SetAndQuery) {
+  GroundTruth truth(db_);
+  const ItemId rio = *db_.FindItem("Rio");
+  const ClaimIndex saldanha = *db_.FindClaim(rio, "Saldanha");
+  ASSERT_TRUE(truth.Set(db_, rio, saldanha).ok());
+  EXPECT_TRUE(truth.Knows(rio));
+  EXPECT_EQ(truth.TrueClaim(rio), saldanha);
+  EXPECT_TRUE(truth.IsTrue(rio, saldanha));
+  EXPECT_FALSE(truth.IsTrue(rio, *db_.FindClaim(rio, "Jones")));
+}
+
+TEST_F(GroundTruthTest, SetByValue) {
+  GroundTruth truth(db_);
+  ASSERT_TRUE(truth.SetByValue(db_, "Minions", "Coffin").ok());
+  const ItemId minions = *db_.FindItem("Minions");
+  EXPECT_TRUE(truth.IsTrue(minions, *db_.FindClaim(minions, "Coffin")));
+}
+
+TEST_F(GroundTruthTest, SetByValueUnknownItem) {
+  GroundTruth truth(db_);
+  EXPECT_EQ(truth.SetByValue(db_, "Cars", "Lasseter").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GroundTruthTest, SetByValueUnknownClaim) {
+  GroundTruth truth(db_);
+  EXPECT_EQ(truth.SetByValue(db_, "Rio", "Spielberg").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GroundTruthTest, SetOutOfRange) {
+  GroundTruth truth(db_);
+  EXPECT_EQ(truth.Set(db_, 999, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(truth.Set(db_, 0, 99).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(GroundTruthTest, IsTrueOnUnknownItemIsFalse) {
+  GroundTruth truth(db_);
+  EXPECT_FALSE(truth.IsTrue(0, 0));
+  EXPECT_FALSE(truth.IsTrue(12345, 0));  // Out of range, not UB.
+}
+
+TEST_F(GroundTruthTest, KnownItems) {
+  GroundTruth truth(db_);
+  ASSERT_TRUE(truth.SetByValue(db_, "Rio", "Saldanha").ok());
+  ASSERT_TRUE(truth.SetByValue(db_, "Zootopia", "Howard").ok());
+  const auto known = truth.KnownItems();
+  ASSERT_EQ(known.size(), 2u);
+  EXPECT_EQ(known[0], *db_.FindItem("Zootopia"));
+  EXPECT_EQ(known[1], *db_.FindItem("Rio"));
+}
+
+TEST_F(GroundTruthTest, OverwriteTruth) {
+  GroundTruth truth(db_);
+  ASSERT_TRUE(truth.SetByValue(db_, "Rio", "Jones").ok());
+  ASSERT_TRUE(truth.SetByValue(db_, "Rio", "Saldanha").ok());
+  const ItemId rio = *db_.FindItem("Rio");
+  EXPECT_TRUE(truth.IsTrue(rio, *db_.FindClaim(rio, "Saldanha")));
+  EXPECT_EQ(truth.num_known(), 1u);
+}
+
+TEST_F(GroundTruthTest, MovieTruthMatchesStars) {
+  // The starred claims of Table 1.
+  const GroundTruth truth = MakeMovieGroundTruth(db_);
+  EXPECT_EQ(truth.num_known(), 6u);
+  struct Expect {
+    const char* item;
+    const char* value;
+  };
+  const Expect expected[] = {
+      {"Zootopia", "Howard"},   {"Kung Fu Panda", "Stevenson"},
+      {"Inside Out", "Docter"}, {"Finding Dory", "Stanton"},
+      {"Minions", "Coffin"},    {"Rio", "Saldanha"},
+  };
+  for (const Expect& e : expected) {
+    const ItemId item = *db_.FindItem(e.item);
+    EXPECT_EQ(truth.TrueClaim(item), *db_.FindClaim(item, e.value))
+        << e.item;
+  }
+}
+
+TEST_F(GroundTruthTest, DefaultConstructedIsEmpty) {
+  GroundTruth truth;
+  EXPECT_EQ(truth.num_known(), 0u);
+  EXPECT_FALSE(truth.Knows(0));
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,192 @@
+// Property-based sweeps over the fusion substrate: invariants that must
+// hold for every dataset shape, seed and fusion model.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+#include "fusion/fusion_factory.h"
+#include "util/math.h"
+
+namespace veritas {
+namespace {
+
+struct FusionPropertyCase {
+  std::string model;
+  bool dense;
+  std::uint64_t seed;
+  std::size_t max_false_claims;
+
+  friend std::ostream& operator<<(std::ostream& os,
+                                  const FusionPropertyCase& c) {
+    return os << c.model << (c.dense ? "_dense_" : "_longtail_") << c.seed
+              << "_k" << c.max_false_claims;
+  }
+};
+
+SyntheticDataset Generate(const FusionPropertyCase& c) {
+  if (c.dense) {
+    DenseConfig config;
+    config.num_items = 150;
+    config.num_sources = 18;
+    config.density = 0.35;
+    config.max_false_claims = c.max_false_claims;
+    config.seed = c.seed;
+    return GenerateDense(config);
+  }
+  LongTailConfig config;
+  config.num_items = 150;
+  config.num_sources = 90;
+  config.avg_votes_per_item = 8.0;
+  config.max_false_claims = c.max_false_claims;
+  config.seed = c.seed;
+  return GenerateLongTail(config);
+}
+
+class FusionPropertyTest
+    : public ::testing::TestWithParam<FusionPropertyCase> {};
+
+TEST_P(FusionPropertyTest, OutputIsValidDistributionPerItem) {
+  const SyntheticDataset data = Generate(GetParam());
+  auto model = MakeFusionModel(GetParam().model);
+  ASSERT_TRUE(model.ok());
+  const FusionResult r = (*model)->Fuse(data.db, PriorSet(), FusionOptions{});
+  for (ItemId i = 0; i < data.db.num_items(); ++i) {
+    double sum = 0.0;
+    for (ClaimIndex k = 0; k < data.db.num_claims(i); ++k) {
+      const double p = r.prob(i, k);
+      ASSERT_GE(p, 0.0) << "item " << i;
+      ASSERT_LE(p, 1.0) << "item " << i;
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-6) << "item " << i;
+  }
+}
+
+TEST_P(FusionPropertyTest, AccuraciesInClampRange) {
+  const SyntheticDataset data = Generate(GetParam());
+  auto model = MakeFusionModel(GetParam().model);
+  ASSERT_TRUE(model.ok());
+  const FusionResult r = (*model)->Fuse(data.db, PriorSet(), FusionOptions{});
+  for (double a : r.accuracies()) {
+    ASSERT_GE(a, kMinAccuracy);
+    ASSERT_LE(a, kMaxAccuracy);
+  }
+}
+
+TEST_P(FusionPropertyTest, PinnedItemsExactlyKeepTheirPrior) {
+  const SyntheticDataset data = Generate(GetParam());
+  auto model = MakeFusionModel(GetParam().model);
+  ASSERT_TRUE(model.ok());
+  PriorSet priors;
+  const auto conflicting = data.db.ConflictingItems();
+  for (std::size_t idx = 0; idx < conflicting.size(); idx += 3) {
+    ASSERT_TRUE(priors.SetExact(data.db, conflicting[idx], 0).ok());
+  }
+  const FusionResult r = (*model)->Fuse(data.db, priors, FusionOptions{});
+  for (const auto& [item, dist] : priors) {
+    for (ClaimIndex k = 0; k < dist.size(); ++k) {
+      ASSERT_DOUBLE_EQ(r.prob(item, k), dist[k]) << "item " << item;
+    }
+  }
+}
+
+TEST_P(FusionPropertyTest, EntropiesBounded) {
+  const SyntheticDataset data = Generate(GetParam());
+  auto model = MakeFusionModel(GetParam().model);
+  ASSERT_TRUE(model.ok());
+  const FusionResult r = (*model)->Fuse(data.db, PriorSet(), FusionOptions{});
+  for (ItemId i = 0; i < data.db.num_items(); ++i) {
+    const double h = r.ItemEntropy(i);
+    ASSERT_GE(h, -1e-12);
+    ASSERT_LE(h, MaxEntropy(data.db.num_claims(i)) + 1e-9);
+  }
+  ASSERT_GE(r.TotalEntropy(), -1e-9);
+}
+
+TEST_P(FusionPropertyTest, DeterministicAcrossRuns) {
+  const SyntheticDataset data = Generate(GetParam());
+  auto model = MakeFusionModel(GetParam().model);
+  ASSERT_TRUE(model.ok());
+  const FusionResult a = (*model)->Fuse(data.db, PriorSet(), FusionOptions{});
+  const FusionResult b = (*model)->Fuse(data.db, PriorSet(), FusionOptions{});
+  for (ItemId i = 0; i < data.db.num_items(); ++i) {
+    for (ClaimIndex k = 0; k < data.db.num_claims(i); ++k) {
+      ASSERT_DOUBLE_EQ(a.prob(i, k), b.prob(i, k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusionPropertyTest,
+    ::testing::Values(
+        FusionPropertyCase{"accu", true, 1, 1},
+        FusionPropertyCase{"accu", true, 2, 3},
+        FusionPropertyCase{"accu", false, 3, 1},
+        FusionPropertyCase{"accu", false, 4, 2},
+        FusionPropertyCase{"voting", true, 5, 1},
+        FusionPropertyCase{"voting", false, 6, 3},
+        FusionPropertyCase{"truthfinder", true, 7, 1},
+        FusionPropertyCase{"truthfinder", false, 8, 2},
+        FusionPropertyCase{"pooled_investment", true, 9, 1},
+        FusionPropertyCase{"pooled_investment", false, 10, 2}));
+
+// Accu-specific fixed-point property: at convergence, one extra iteration
+// does not move the output.
+class AccuFixedPointTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccuFixedPointTest, ConvergedStateIsStable) {
+  DenseConfig config;
+  config.num_items = 100;
+  config.num_sources = 12;
+  config.density = 0.4;
+  config.seed = GetParam();
+  const SyntheticDataset data = GenerateDense(config);
+  AccuFusion model;
+  FusionOptions opts;
+  opts.max_iterations = 300;
+  const FusionResult converged = model.Fuse(data.db, opts);
+  if (!converged.converged()) GTEST_SKIP() << "did not converge";
+  // Warm-start one more run: it must stop immediately at the same state.
+  FusionOptions one;
+  one.max_iterations = 1;
+  const FusionResult next = model.Fuse(data.db, PriorSet(), one, &converged);
+  for (ItemId i = 0; i < data.db.num_items(); ++i) {
+    for (ClaimIndex k = 0; k < data.db.num_claims(i); ++k) {
+      ASSERT_NEAR(next.prob(i, k), converged.prob(i, k), 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccuFixedPointTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Better sources should end with higher estimated accuracies — check rank
+// correlation between true and estimated accuracies is positive.
+class AccuAccuracyRecoveryTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccuAccuracyRecoveryTest, EstimatedAccuracyTracksTrueAccuracy) {
+  DenseConfig config;
+  config.num_items = 400;
+  config.num_sources = 15;
+  config.density = 0.5;
+  config.accuracy_sd = 0.15;
+  config.seed = GetParam();
+  const SyntheticDataset data = GenerateDense(config);
+  AccuFusion model;
+  const FusionResult r = model.Fuse(data.db, FusionOptions{});
+  // Compare the best-true-accuracy source with the worst.
+  std::size_t best = 0, worst = 0;
+  for (std::size_t j = 1; j < data.true_accuracies.size(); ++j) {
+    if (data.true_accuracies[j] > data.true_accuracies[best]) best = j;
+    if (data.true_accuracies[j] < data.true_accuracies[worst]) worst = j;
+  }
+  EXPECT_GT(r.accuracy(static_cast<SourceId>(best)),
+            r.accuracy(static_cast<SourceId>(worst)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccuAccuracyRecoveryTest,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace veritas

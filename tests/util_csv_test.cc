@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace veritas {
+namespace {
+
+TEST(ParseCsvLineTest, PlainFields) {
+  const CsvRow row = ParseCsvLine("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  const CsvRow row = ParseCsvLine(",,");
+  ASSERT_EQ(row.size(), 3u);
+  for (const auto& f : row) EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiter) {
+  const CsvRow row = ParseCsvLine(R"(src,"Smith, John",value)");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "Smith, John");
+}
+
+TEST(ParseCsvLineTest, EscapedQuotes) {
+  const CsvRow row = ParseCsvLine(R"("say ""hi""",x)");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLineTest, IgnoresCarriageReturn) {
+  const CsvRow row = ParseCsvLine("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(ParseCsvLineTest, CustomDelimiter) {
+  const CsvRow row = ParseCsvLine("a|b|c", '|');
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(EscapeCsvFieldTest, PlainUnchanged) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+}
+
+TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(FormatCsvRowTest, RoundTripsThroughParse) {
+  const CsvRow original = {"plain", "with,comma", "with\"quote", ""};
+  const CsvRow parsed = ParseCsvLine(FormatCsvRow(original));
+  EXPECT_EQ(parsed, original);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/veritas_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvFileTest, WriteThenRead) {
+  const std::vector<CsvRow> rows = {{"s1", "i1", "v1"}, {"s2", "i2", "v,2"}};
+  ASSERT_TRUE(WriteCsvFile(path_, rows).ok());
+  const auto read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+}
+
+TEST_F(CsvFileTest, SkipsCommentsAndBlankLines) {
+  std::ofstream out(path_);
+  out << "# comment\n\na,b\n   \nc,d\n";
+  out.close();
+  const auto read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0][0], "a");
+  EXPECT_EQ((*read)[1][1], "d");
+}
+
+TEST_F(CsvFileTest, MissingFileIsIoError) {
+  const auto read = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvFileTest, WriteToBadPathIsIoError) {
+  const Status st = WriteCsvFile("/nonexistent/dir/file.csv", {{"a"}});
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace veritas {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 1.0);  // Population variance.
+}
+
+TEST(StatsTest, StdDev) {
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), 1.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PearsonUncorrelatedNearZero) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.Uniform());
+    ys.push_back(rng.Uniform());
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.05);
+}
+
+TEST(StatsTest, QuantileBasics) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, 0.5), 1.5);  // Interpolated.
+}
+
+TEST(StatsTest, QuantileClampsQ) {
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, 2.0), 2.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({}), 0.0);
+  EXPECT_DOUBLE_EQ(Max({}), 0.0);
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStats) {
+  const std::vector<double> xs = {1.5, -2.0, 4.0, 0.0, 3.25, -1.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), StdDev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats rs;
+  rs.Add(7.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+// Property sweep: RunningStats agrees with batch formulas on random data of
+// several sizes.
+class RunningStatsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningStatsPropertyTest, AgreesWithBatch) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < GetParam() * 10 + 2; ++i) {
+    const double x = rng.Normal(0.0, 3.0);
+    xs.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RunningStatsPropertyTest,
+                         ::testing::Values(1, 2, 5, 17, 100));
+
+}  // namespace
+}  // namespace veritas
