@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fusion_models"
+  "../bench/ablation_fusion_models.pdb"
+  "CMakeFiles/ablation_fusion_models.dir/ablation_fusion_models.cc.o"
+  "CMakeFiles/ablation_fusion_models.dir/ablation_fusion_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

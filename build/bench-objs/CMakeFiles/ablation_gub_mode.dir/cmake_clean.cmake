@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gub_mode"
+  "../bench/ablation_gub_mode.pdb"
+  "CMakeFiles/ablation_gub_mode.dir/ablation_gub_mode.cc.o"
+  "CMakeFiles/ablation_gub_mode.dir/ablation_gub_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gub_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

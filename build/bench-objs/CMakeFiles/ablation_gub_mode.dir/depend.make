@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gub_mode.
+# This may be replaced when dependencies are built.

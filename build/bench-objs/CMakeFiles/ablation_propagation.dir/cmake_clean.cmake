@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_propagation"
+  "../bench/ablation_propagation.pdb"
+  "CMakeFiles/ablation_propagation.dir/ablation_propagation.cc.o"
+  "CMakeFiles/ablation_propagation.dir/ablation_propagation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_warm_start"
+  "../bench/ablation_warm_start.pdb"
+  "CMakeFiles/ablation_warm_start.dir/ablation_warm_start.cc.o"
+  "CMakeFiles/ablation_warm_start.dir/ablation_warm_start.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_copy_detection"
+  "../bench/ext_copy_detection.pdb"
+  "CMakeFiles/ext_copy_detection.dir/ext_copy_detection.cc.o"
+  "CMakeFiles/ext_copy_detection.dir/ext_copy_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_copy_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_crowd_consolidation"
+  "../bench/ext_crowd_consolidation.pdb"
+  "CMakeFiles/ext_crowd_consolidation.dir/ext_crowd_consolidation.cc.o"
+  "CMakeFiles/ext_crowd_consolidation.dir/ext_crowd_consolidation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crowd_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

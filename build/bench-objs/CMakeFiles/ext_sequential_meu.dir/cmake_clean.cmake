@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_sequential_meu"
+  "../bench/ext_sequential_meu.pdb"
+  "CMakeFiles/ext_sequential_meu.dir/ext_sequential_meu.cc.o"
+  "CMakeFiles/ext_sequential_meu.dir/ext_sequential_meu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sequential_meu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_hybrid_k.cc" "bench-objs/CMakeFiles/fig10_hybrid_k.dir/fig10_hybrid_k.cc.o" "gcc" "bench-objs/CMakeFiles/fig10_hybrid_k.dir/fig10_hybrid_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veritas_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_hybrid_k"
+  "../bench/fig10_hybrid_k.pdb"
+  "CMakeFiles/fig10_hybrid_k.dir/fig10_hybrid_k.cc.o"
+  "CMakeFiles/fig10_hybrid_k.dir/fig10_hybrid_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hybrid_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_batch_size"
+  "../bench/fig11_batch_size.pdb"
+  "CMakeFiles/fig11_batch_size.dir/fig11_batch_size.cc.o"
+  "CMakeFiles/fig11_batch_size.dir/fig11_batch_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

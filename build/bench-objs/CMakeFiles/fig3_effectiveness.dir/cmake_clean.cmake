@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_effectiveness"
+  "../bench/fig3_effectiveness.pdb"
+  "CMakeFiles/fig3_effectiveness.dir/fig3_effectiveness.cc.o"
+  "CMakeFiles/fig3_effectiveness.dir/fig3_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_uncertainty"
+  "../bench/fig4_uncertainty.pdb"
+  "CMakeFiles/fig4_uncertainty.dir/fig4_uncertainty.cc.o"
+  "CMakeFiles/fig4_uncertainty.dir/fig4_uncertainty.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

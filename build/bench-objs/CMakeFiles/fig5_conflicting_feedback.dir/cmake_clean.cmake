@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_conflicting_feedback"
+  "../bench/fig5_conflicting_feedback.pdb"
+  "CMakeFiles/fig5_conflicting_feedback.dir/fig5_conflicting_feedback.cc.o"
+  "CMakeFiles/fig5_conflicting_feedback.dir/fig5_conflicting_feedback.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_conflicting_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

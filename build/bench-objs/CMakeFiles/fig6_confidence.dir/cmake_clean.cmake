@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_confidence"
+  "../bench/fig6_confidence.pdb"
+  "CMakeFiles/fig6_confidence.dir/fig6_confidence.cc.o"
+  "CMakeFiles/fig6_confidence.dir/fig6_confidence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

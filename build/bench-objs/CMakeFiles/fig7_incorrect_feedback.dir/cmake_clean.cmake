@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_incorrect_feedback"
+  "../bench/fig7_incorrect_feedback.pdb"
+  "CMakeFiles/fig7_incorrect_feedback.dir/fig7_incorrect_feedback.cc.o"
+  "CMakeFiles/fig7_incorrect_feedback.dir/fig7_incorrect_feedback.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_incorrect_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

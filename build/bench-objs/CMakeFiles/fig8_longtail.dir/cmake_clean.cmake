@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_longtail"
+  "../bench/fig8_longtail.pdb"
+  "CMakeFiles/fig8_longtail.dir/fig8_longtail.cc.o"
+  "CMakeFiles/fig8_longtail.dir/fig8_longtail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_metric_correlation"
+  "../bench/fig9_metric_correlation.pdb"
+  "CMakeFiles/fig9_metric_correlation.dir/fig9_metric_correlation.cc.o"
+  "CMakeFiles/fig9_metric_correlation.dir/fig9_metric_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_metric_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

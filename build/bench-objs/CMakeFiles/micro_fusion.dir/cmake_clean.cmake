@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_fusion"
+  "../bench/micro_fusion.pdb"
+  "CMakeFiles/micro_fusion.dir/micro_fusion.cc.o"
+  "CMakeFiles/micro_fusion.dir/micro_fusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table10_datasets"
+  "../bench/table10_datasets.pdb"
+  "CMakeFiles/table10_datasets.dir/table10_datasets.cc.o"
+  "CMakeFiles/table10_datasets.dir/table10_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table11_timing"
+  "../bench/table11_timing.pdb"
+  "CMakeFiles/table11_timing.dir/table11_timing.cc.o"
+  "CMakeFiles/table11_timing.dir/table11_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

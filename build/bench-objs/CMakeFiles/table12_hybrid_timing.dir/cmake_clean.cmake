@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table12_hybrid_timing"
+  "../bench/table12_hybrid_timing.pdb"
+  "CMakeFiles/table12_hybrid_timing.dir/table12_hybrid_timing.cc.o"
+  "CMakeFiles/table12_hybrid_timing.dir/table12_hybrid_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_hybrid_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

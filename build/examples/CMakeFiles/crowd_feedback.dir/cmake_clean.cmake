@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_feedback.dir/crowd_feedback.cpp.o"
+  "CMakeFiles/crowd_feedback.dir/crowd_feedback.cpp.o.d"
+  "crowd_feedback"
+  "crowd_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fusion.dir/custom_fusion.cpp.o"
+  "CMakeFiles/custom_fusion.dir/custom_fusion.cpp.o.d"
+  "custom_fusion"
+  "custom_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

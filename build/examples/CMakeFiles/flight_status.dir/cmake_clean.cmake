@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_status.dir/flight_status.cpp.o"
+  "CMakeFiles/flight_status.dir/flight_status.cpp.o.d"
+  "flight_status"
+  "flight_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_directors.dir/movie_directors.cpp.o"
+  "CMakeFiles/movie_directors.dir/movie_directors.cpp.o.d"
+  "movie_directors"
+  "movie_directors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_directors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

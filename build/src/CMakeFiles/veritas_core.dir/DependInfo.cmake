@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_meu.cc" "src/CMakeFiles/veritas_core.dir/core/approx_meu.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/approx_meu.cc.o.d"
+  "/root/repo/src/core/gub.cc" "src/CMakeFiles/veritas_core.dir/core/gub.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/gub.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/veritas_core.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/interactive.cc" "src/CMakeFiles/veritas_core.dir/core/interactive.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/interactive.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/veritas_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/meu.cc" "src/CMakeFiles/veritas_core.dir/core/meu.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/meu.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/CMakeFiles/veritas_core.dir/core/oracle.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/oracle.cc.o.d"
+  "/root/repo/src/core/qbc.cc" "src/CMakeFiles/veritas_core.dir/core/qbc.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/qbc.cc.o.d"
+  "/root/repo/src/core/random_strategy.cc" "src/CMakeFiles/veritas_core.dir/core/random_strategy.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/random_strategy.cc.o.d"
+  "/root/repo/src/core/sequential_meu.cc" "src/CMakeFiles/veritas_core.dir/core/sequential_meu.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/sequential_meu.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/veritas_core.dir/core/session.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/session.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/veritas_core.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/strategy.cc.o.d"
+  "/root/repo/src/core/strategy_factory.cc" "src/CMakeFiles/veritas_core.dir/core/strategy_factory.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/strategy_factory.cc.o.d"
+  "/root/repo/src/core/us.cc" "src/CMakeFiles/veritas_core.dir/core/us.cc.o" "gcc" "src/CMakeFiles/veritas_core.dir/core/us.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veritas_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_core.dir/core/approx_meu.cc.o"
+  "CMakeFiles/veritas_core.dir/core/approx_meu.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/gub.cc.o"
+  "CMakeFiles/veritas_core.dir/core/gub.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/hybrid.cc.o"
+  "CMakeFiles/veritas_core.dir/core/hybrid.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/interactive.cc.o"
+  "CMakeFiles/veritas_core.dir/core/interactive.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/metrics.cc.o"
+  "CMakeFiles/veritas_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/meu.cc.o"
+  "CMakeFiles/veritas_core.dir/core/meu.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/oracle.cc.o"
+  "CMakeFiles/veritas_core.dir/core/oracle.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/qbc.cc.o"
+  "CMakeFiles/veritas_core.dir/core/qbc.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/random_strategy.cc.o"
+  "CMakeFiles/veritas_core.dir/core/random_strategy.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/sequential_meu.cc.o"
+  "CMakeFiles/veritas_core.dir/core/sequential_meu.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/session.cc.o"
+  "CMakeFiles/veritas_core.dir/core/session.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/strategy.cc.o"
+  "CMakeFiles/veritas_core.dir/core/strategy.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/strategy_factory.cc.o"
+  "CMakeFiles/veritas_core.dir/core/strategy_factory.cc.o.d"
+  "CMakeFiles/veritas_core.dir/core/us.cc.o"
+  "CMakeFiles/veritas_core.dir/core/us.cc.o.d"
+  "libveritas_core.a"
+  "libveritas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_crowd.dir/crowd/consolidation.cc.o"
+  "CMakeFiles/veritas_crowd.dir/crowd/consolidation.cc.o.d"
+  "CMakeFiles/veritas_crowd.dir/crowd/worker_pool.cc.o"
+  "CMakeFiles/veritas_crowd.dir/crowd/worker_pool.cc.o.d"
+  "libveritas_crowd.a"
+  "libveritas_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

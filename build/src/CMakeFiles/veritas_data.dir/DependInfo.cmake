@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/canonicalize.cc" "src/CMakeFiles/veritas_data.dir/data/canonicalize.cc.o" "gcc" "src/CMakeFiles/veritas_data.dir/data/canonicalize.cc.o.d"
+  "/root/repo/src/data/dataset_stats.cc" "src/CMakeFiles/veritas_data.dir/data/dataset_stats.cc.o" "gcc" "src/CMakeFiles/veritas_data.dir/data/dataset_stats.cc.o.d"
+  "/root/repo/src/data/example_data.cc" "src/CMakeFiles/veritas_data.dir/data/example_data.cc.o" "gcc" "src/CMakeFiles/veritas_data.dir/data/example_data.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/veritas_data.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/veritas_data.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/veritas_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/veritas_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veritas_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_data.dir/data/canonicalize.cc.o"
+  "CMakeFiles/veritas_data.dir/data/canonicalize.cc.o.d"
+  "CMakeFiles/veritas_data.dir/data/dataset_stats.cc.o"
+  "CMakeFiles/veritas_data.dir/data/dataset_stats.cc.o.d"
+  "CMakeFiles/veritas_data.dir/data/example_data.cc.o"
+  "CMakeFiles/veritas_data.dir/data/example_data.cc.o.d"
+  "CMakeFiles/veritas_data.dir/data/loader.cc.o"
+  "CMakeFiles/veritas_data.dir/data/loader.cc.o.d"
+  "CMakeFiles/veritas_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/veritas_data.dir/data/synthetic.cc.o.d"
+  "libveritas_data.a"
+  "libveritas_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

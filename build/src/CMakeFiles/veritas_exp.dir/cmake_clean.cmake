@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_exp.dir/exp/export.cc.o"
+  "CMakeFiles/veritas_exp.dir/exp/export.cc.o.d"
+  "CMakeFiles/veritas_exp.dir/exp/harness.cc.o"
+  "CMakeFiles/veritas_exp.dir/exp/harness.cc.o.d"
+  "CMakeFiles/veritas_exp.dir/exp/report.cc.o"
+  "CMakeFiles/veritas_exp.dir/exp/report.cc.o.d"
+  "CMakeFiles/veritas_exp.dir/exp/scale.cc.o"
+  "CMakeFiles/veritas_exp.dir/exp/scale.cc.o.d"
+  "libveritas_exp.a"
+  "libveritas_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

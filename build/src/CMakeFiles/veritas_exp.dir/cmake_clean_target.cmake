@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveritas_exp.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/accu.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/accu.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/accu.cc.o.d"
+  "/root/repo/src/fusion/accu_copy.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/accu_copy.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/accu_copy.cc.o.d"
+  "/root/repo/src/fusion/fusion_factory.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/fusion_factory.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/fusion_factory.cc.o.d"
+  "/root/repo/src/fusion/fusion_model.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/fusion_model.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/fusion_model.cc.o.d"
+  "/root/repo/src/fusion/fusion_result.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/fusion_result.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/fusion_result.cc.o.d"
+  "/root/repo/src/fusion/lca.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/lca.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/lca.cc.o.d"
+  "/root/repo/src/fusion/pooled_investment.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/pooled_investment.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/pooled_investment.cc.o.d"
+  "/root/repo/src/fusion/priors.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/priors.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/priors.cc.o.d"
+  "/root/repo/src/fusion/truthfinder.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/truthfinder.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/truthfinder.cc.o.d"
+  "/root/repo/src/fusion/voting.cc" "src/CMakeFiles/veritas_fusion.dir/fusion/voting.cc.o" "gcc" "src/CMakeFiles/veritas_fusion.dir/fusion/voting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veritas_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_fusion.dir/fusion/accu.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/accu.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/accu_copy.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/accu_copy.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/fusion_factory.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/fusion_factory.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/fusion_model.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/fusion_model.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/fusion_result.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/fusion_result.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/lca.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/lca.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/pooled_investment.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/pooled_investment.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/priors.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/priors.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/truthfinder.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/truthfinder.cc.o.d"
+  "CMakeFiles/veritas_fusion.dir/fusion/voting.cc.o"
+  "CMakeFiles/veritas_fusion.dir/fusion/voting.cc.o.d"
+  "libveritas_fusion.a"
+  "libveritas_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/database.cc" "src/CMakeFiles/veritas_model.dir/model/database.cc.o" "gcc" "src/CMakeFiles/veritas_model.dir/model/database.cc.o.d"
+  "/root/repo/src/model/database_builder.cc" "src/CMakeFiles/veritas_model.dir/model/database_builder.cc.o" "gcc" "src/CMakeFiles/veritas_model.dir/model/database_builder.cc.o.d"
+  "/root/repo/src/model/ground_truth.cc" "src/CMakeFiles/veritas_model.dir/model/ground_truth.cc.o" "gcc" "src/CMakeFiles/veritas_model.dir/model/ground_truth.cc.o.d"
+  "/root/repo/src/model/item_graph.cc" "src/CMakeFiles/veritas_model.dir/model/item_graph.cc.o" "gcc" "src/CMakeFiles/veritas_model.dir/model/item_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veritas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_model.dir/model/database.cc.o"
+  "CMakeFiles/veritas_model.dir/model/database.cc.o.d"
+  "CMakeFiles/veritas_model.dir/model/database_builder.cc.o"
+  "CMakeFiles/veritas_model.dir/model/database_builder.cc.o.d"
+  "CMakeFiles/veritas_model.dir/model/ground_truth.cc.o"
+  "CMakeFiles/veritas_model.dir/model/ground_truth.cc.o.d"
+  "CMakeFiles/veritas_model.dir/model/item_graph.cc.o"
+  "CMakeFiles/veritas_model.dir/model/item_graph.cc.o.d"
+  "libveritas_model.a"
+  "libveritas_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

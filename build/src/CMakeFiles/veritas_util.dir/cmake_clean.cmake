@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_util.dir/util/args.cc.o"
+  "CMakeFiles/veritas_util.dir/util/args.cc.o.d"
+  "CMakeFiles/veritas_util.dir/util/csv.cc.o"
+  "CMakeFiles/veritas_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/veritas_util.dir/util/math.cc.o"
+  "CMakeFiles/veritas_util.dir/util/math.cc.o.d"
+  "CMakeFiles/veritas_util.dir/util/rng.cc.o"
+  "CMakeFiles/veritas_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/veritas_util.dir/util/stats.cc.o"
+  "CMakeFiles/veritas_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/veritas_util.dir/util/status.cc.o"
+  "CMakeFiles/veritas_util.dir/util/status.cc.o.d"
+  "CMakeFiles/veritas_util.dir/util/strings.cc.o"
+  "CMakeFiles/veritas_util.dir/util/strings.cc.o.d"
+  "libveritas_util.a"
+  "libveritas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_approx_meu_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_approx_meu_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_approx_meu_test.cc.o.d"
+  "/root/repo/tests/core_gub_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_gub_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_gub_test.cc.o.d"
+  "/root/repo/tests/core_hybrid_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_hybrid_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_hybrid_test.cc.o.d"
+  "/root/repo/tests/core_interactive_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_interactive_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_interactive_test.cc.o.d"
+  "/root/repo/tests/core_metrics_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_metrics_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_metrics_test.cc.o.d"
+  "/root/repo/tests/core_meu_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_meu_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_meu_test.cc.o.d"
+  "/root/repo/tests/core_oracle_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_oracle_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_oracle_test.cc.o.d"
+  "/root/repo/tests/core_qbc_us_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_qbc_us_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_qbc_us_test.cc.o.d"
+  "/root/repo/tests/core_sequential_meu_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_sequential_meu_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_sequential_meu_test.cc.o.d"
+  "/root/repo/tests/core_session_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_session_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_session_test.cc.o.d"
+  "/root/repo/tests/core_strategy_test.cc" "tests/CMakeFiles/veritas_tests.dir/core_strategy_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/core_strategy_test.cc.o.d"
+  "/root/repo/tests/crowd_test.cc" "tests/CMakeFiles/veritas_tests.dir/crowd_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/crowd_test.cc.o.d"
+  "/root/repo/tests/data_canonicalize_test.cc" "tests/CMakeFiles/veritas_tests.dir/data_canonicalize_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/data_canonicalize_test.cc.o.d"
+  "/root/repo/tests/data_loader_test.cc" "tests/CMakeFiles/veritas_tests.dir/data_loader_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/data_loader_test.cc.o.d"
+  "/root/repo/tests/data_stats_test.cc" "tests/CMakeFiles/veritas_tests.dir/data_stats_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/data_stats_test.cc.o.d"
+  "/root/repo/tests/data_synthetic_test.cc" "tests/CMakeFiles/veritas_tests.dir/data_synthetic_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/data_synthetic_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/veritas_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/exp_export_test.cc" "tests/CMakeFiles/veritas_tests.dir/exp_export_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/exp_export_test.cc.o.d"
+  "/root/repo/tests/exp_harness_test.cc" "tests/CMakeFiles/veritas_tests.dir/exp_harness_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/exp_harness_test.cc.o.d"
+  "/root/repo/tests/fusion_accu_copy_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_accu_copy_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_accu_copy_test.cc.o.d"
+  "/root/repo/tests/fusion_accu_golden_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_accu_golden_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_accu_golden_test.cc.o.d"
+  "/root/repo/tests/fusion_accu_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_accu_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_accu_test.cc.o.d"
+  "/root/repo/tests/fusion_convergence_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_convergence_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_convergence_test.cc.o.d"
+  "/root/repo/tests/fusion_priors_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_priors_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_priors_test.cc.o.d"
+  "/root/repo/tests/fusion_result_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_result_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_result_test.cc.o.d"
+  "/root/repo/tests/fusion_variants_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_variants_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_variants_test.cc.o.d"
+  "/root/repo/tests/fusion_voting_test.cc" "tests/CMakeFiles/veritas_tests.dir/fusion_voting_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/fusion_voting_test.cc.o.d"
+  "/root/repo/tests/integration_end_to_end_test.cc" "tests/CMakeFiles/veritas_tests.dir/integration_end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/integration_end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration_paper_example_test.cc" "tests/CMakeFiles/veritas_tests.dir/integration_paper_example_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/integration_paper_example_test.cc.o.d"
+  "/root/repo/tests/model_database_test.cc" "tests/CMakeFiles/veritas_tests.dir/model_database_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/model_database_test.cc.o.d"
+  "/root/repo/tests/model_ground_truth_test.cc" "tests/CMakeFiles/veritas_tests.dir/model_ground_truth_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/model_ground_truth_test.cc.o.d"
+  "/root/repo/tests/model_item_graph_test.cc" "tests/CMakeFiles/veritas_tests.dir/model_item_graph_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/model_item_graph_test.cc.o.d"
+  "/root/repo/tests/property_extensions_test.cc" "tests/CMakeFiles/veritas_tests.dir/property_extensions_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/property_extensions_test.cc.o.d"
+  "/root/repo/tests/property_fusion_test.cc" "tests/CMakeFiles/veritas_tests.dir/property_fusion_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/property_fusion_test.cc.o.d"
+  "/root/repo/tests/property_strategies_test.cc" "tests/CMakeFiles/veritas_tests.dir/property_strategies_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/property_strategies_test.cc.o.d"
+  "/root/repo/tests/util_args_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_args_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_args_test.cc.o.d"
+  "/root/repo/tests/util_csv_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_csv_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_csv_test.cc.o.d"
+  "/root/repo/tests/util_math_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_math_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_math_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_stats_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_stats_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_stats_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_strings_test.cc" "tests/CMakeFiles/veritas_tests.dir/util_strings_test.cc.o" "gcc" "tests/CMakeFiles/veritas_tests.dir/util_strings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veritas_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veritas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

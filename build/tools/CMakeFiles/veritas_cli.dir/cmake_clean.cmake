@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veritas_cli.dir/veritas_cli.cc.o"
+  "CMakeFiles/veritas_cli.dir/veritas_cli.cc.o.d"
+  "veritas_cli"
+  "veritas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veritas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
