@@ -25,11 +25,20 @@ StrategyContext InteractiveSession::MakeContext() {
   ctx.fusion_opts = &fusion_options_;
   ctx.graph = &graph_;
   ctx.rng = rng_;
+  ctx.excluded = &unanswerable_;
   return ctx;
 }
 
 void InteractiveSession::Refuse() {
-  fusion_ = model_.Fuse(db_, priors_, fusion_options_, &fusion_);
+  FusionResult next = model_.Fuse(db_, priors_, fusion_options_, &fusion_);
+  if (!next.converged()) ++nonconverged_fusions_;
+  if (!next.AllFinite()) {
+    // Keep the last-good fusion: a NaN readout would corrupt every
+    // probability the UI displays and every future suggestion.
+    ++fusion_fallbacks_;
+    return;
+  }
+  fusion_ = std::move(next);
 }
 
 Result<Suggestion> InteractiveSession::NextSuggestion() {
@@ -84,6 +93,14 @@ Status InteractiveSession::SubmitFeedback(ItemId item,
   VERITAS_RETURN_IF_ERROR(
       priors_.SetDistribution(db_, item, std::move(distribution)));
   Refuse();
+  return Status::OK();
+}
+
+Status InteractiveSession::MarkUnanswerable(ItemId item) {
+  if (item >= db_.num_items()) {
+    return Status::OutOfRange("unanswerable: item id out of range");
+  }
+  unanswerable_.insert(item);
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #define VERITAS_CORE_INTERACTIVE_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/strategy.h"
@@ -59,6 +60,17 @@ class InteractiveSession {
   /// and re-fuses.
   Status RetractFeedback(ItemId item);
 
+  /// Records that `item` cannot be answered (the expert is unreachable or
+  /// declines): it stops being suggested and NextSuggestion moves on to the
+  /// next-best item, so one dead question never stalls the loop.
+  Status MarkUnanswerable(ItemId item);
+
+  /// Lifts a previous MarkUnanswerable (the expert came back).
+  void ClearUnanswerable(ItemId item) { unanswerable_.erase(item); }
+
+  /// Items currently marked unanswerable.
+  std::size_t num_unanswerable() const { return unanswerable_.size(); }
+
   /// Current fusion output.
   const FusionResult& fusion() const { return fusion_; }
 
@@ -70,6 +82,15 @@ class InteractiveSession {
 
   /// Number of items validated so far.
   std::size_t num_validated() const { return priors_.size(); }
+
+  /// Re-fusions that reported converged() == false (§3's caveat surfaced).
+  std::size_t num_nonconverged_fusions() const {
+    return nonconverged_fusions_;
+  }
+
+  /// Re-fusions discarded because they contained non-finite probabilities;
+  /// the session kept the last-good result instead (graceful degradation).
+  std::size_t num_fusion_fallbacks() const { return fusion_fallbacks_; }
 
  private:
   StrategyContext MakeContext();
@@ -83,6 +104,9 @@ class InteractiveSession {
   ItemGraph graph_;
   PriorSet priors_;
   FusionResult fusion_;
+  std::unordered_set<ItemId> unanswerable_;
+  std::size_t nonconverged_fusions_ = 0;
+  std::size_t fusion_fallbacks_ = 0;
 };
 
 }  // namespace veritas

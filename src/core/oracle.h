@@ -40,6 +40,21 @@ class FeedbackOracle {
   virtual Result<std::vector<double>> Answer(const Database& db, ItemId item,
                                              const GroundTruth& truth,
                                              Rng* rng) = 0;
+
+  /// How many oracle calls the last Answer() consumed. Decorators that retry
+  /// (RetryingOracle) report > 1; plain oracles answer in one.
+  virtual std::size_t last_attempts() const { return 1; }
+
+  /// Opaque single-line state for session checkpoint/resume. Stateless
+  /// oracles (all of the §4.4 simulators — their randomness lives in the
+  /// session Rng, which is checkpointed separately) return "". Stateful
+  /// decorators (FlakyOracle's fault schedule) override both hooks so a
+  /// resumed session replays the exact same fault sequence.
+  virtual std::string SerializeState() const { return ""; }
+  virtual Status RestoreState(const std::string& state) {
+    (void)state;
+    return Status::OK();
+  }
 };
 
 /// Always reports the true claim with certainty.

@@ -22,7 +22,9 @@ std::vector<ItemId> QbcStrategy::SelectBatch(const StrategyContext& ctx,
   std::vector<ItemId> out;
   for (ItemId i : ranked_) {
     if (out.size() >= batch) break;
-    if (!ctx.priors->Has(i)) out.push_back(i);
+    if (ctx.priors->Has(i)) continue;
+    if (ctx.excluded != nullptr && ctx.excluded->count(i) > 0) continue;
+    out.push_back(i);
   }
   return out;
 }

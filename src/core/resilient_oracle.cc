@@ -1,0 +1,97 @@
+#include "core/resilient_oracle.h"
+
+#include <utility>
+
+namespace veritas {
+
+FlakyOracle::FlakyOracle(FeedbackOracle* inner, FaultPlan plan,
+                         std::uint64_t seed)
+    : inner_(inner), injector_(seed) {
+  injector_.SetPlan(kSite, plan);
+}
+
+FlakyOracle::FlakyOracle(std::unique_ptr<FeedbackOracle> inner, FaultPlan plan,
+                         std::uint64_t seed)
+    : inner_(inner.get()), owned_(std::move(inner)), injector_(seed) {
+  injector_.SetPlan(kSite, plan);
+}
+
+std::string FlakyOracle::name() const {
+  return "flaky(" + inner_->name() + ")";
+}
+
+Result<std::vector<double>> FlakyOracle::Answer(const Database& db,
+                                                ItemId item,
+                                                const GroundTruth& truth,
+                                                Rng* rng) {
+  const FaultOutcome outcome = injector_.Next(kSite);
+  simulated_latency_ += outcome.latency_seconds;
+  switch (outcome.kind) {
+    case FaultKind::kUnavailable:
+      return Status::Unavailable("injected fault: oracle unavailable for '" +
+                                 db.item(item).name + "'");
+    case FaultKind::kTimeout:
+      return Status::DeadlineExceeded(
+          "injected fault: oracle timed out on '" + db.item(item).name + "'");
+    case FaultKind::kAbstain:
+      return Status::Abstained("injected fault: oracle abstained on '" +
+                               db.item(item).name + "'");
+    case FaultKind::kNone:
+      break;  // Possibly a pure latency spike; answer normally.
+  }
+  return inner_->Answer(db, item, truth, rng);
+}
+
+std::string FlakyOracle::SerializeState() const {
+  // The '|' separator cannot appear in injector state (space-separated
+  // tokens) so the inner oracle's state survives nesting.
+  return injector_.SerializeState() + "|" + inner_->SerializeState();
+}
+
+Status FlakyOracle::RestoreState(const std::string& state) {
+  const std::size_t bar = state.find('|');
+  if (bar == std::string::npos) {
+    return Status::InvalidArgument("flaky oracle state: missing separator");
+  }
+  VERITAS_RETURN_IF_ERROR(injector_.RestoreState(state.substr(0, bar)));
+  return inner_->RestoreState(state.substr(bar + 1));
+}
+
+RetryingOracle::RetryingOracle(FeedbackOracle* inner, RetryPolicy policy)
+    : inner_(inner), policy_(std::move(policy)) {}
+
+RetryingOracle::RetryingOracle(std::unique_ptr<FeedbackOracle> inner,
+                               RetryPolicy policy)
+    : inner_(inner.get()), owned_(std::move(inner)), policy_(std::move(policy)) {}
+
+std::string RetryingOracle::name() const {
+  return "retrying(" + inner_->name() + ")";
+}
+
+Result<std::vector<double>> RetryingOracle::Answer(const Database& db,
+                                                   ItemId item,
+                                                   const GroundTruth& truth,
+                                                   Rng* rng) {
+  RetryStats call_stats;
+  Result<std::vector<double>> result = RetryCall<std::vector<double>>(
+      policy_,
+      [&] { return inner_->Answer(db, item, truth, rng); },
+      rng, &call_stats);
+  last_attempts_ = call_stats.attempts;
+  stats_.total_attempts += call_stats.attempts;
+  stats_.total_retries += call_stats.attempts - 1;
+  stats_.total_backoff_seconds += call_stats.total_backoff_seconds;
+  if (!result.ok()) ++stats_.exhausted;
+  attempts_per_item_[item] += call_stats.attempts;
+  return result;
+}
+
+std::string RetryingOracle::SerializeState() const {
+  return inner_->SerializeState();
+}
+
+Status RetryingOracle::RestoreState(const std::string& state) {
+  return inner_->RestoreState(state);
+}
+
+}  // namespace veritas

@@ -1,0 +1,111 @@
+// FeedbackOracle decorators for degraded operation. The paper's oracle
+// abstraction (§4.4) assumes every validation request is answered; these
+// wrappers make the failure modes of real experts and crowds first-class
+// while leaving the abstraction itself untouched:
+//
+//   FlakyOracle    — test double: injects Unavailable / timeout / abstain
+//                    faults (and latency spikes) from a deterministic
+//                    FaultPlan before consulting the wrapped oracle.
+//   RetryingOracle — production decorator: re-asks the wrapped oracle under
+//                    a RetryPolicy and surfaces per-item attempt counts.
+//
+// The two compose: RetryingOracle(FlakyOracle(PerfectOracle)) is the
+// standard harness for exercising a session's graceful degradation path.
+#ifndef VERITAS_CORE_RESILIENT_ORACLE_H_
+#define VERITAS_CORE_RESILIENT_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/oracle.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
+
+namespace veritas {
+
+/// Wraps any oracle with injected faults from a deterministic plan; the test
+/// double for every robustness scenario. Owns its FaultInjector (one site,
+/// "oracle") so two FlakyOracles never share streams.
+class FlakyOracle : public FeedbackOracle {
+ public:
+  /// Non-owning: `inner` must outlive the decorator.
+  FlakyOracle(FeedbackOracle* inner, FaultPlan plan, std::uint64_t seed = 42);
+  /// Owning variant for factory-built chains.
+  FlakyOracle(std::unique_ptr<FeedbackOracle> inner, FaultPlan plan,
+              std::uint64_t seed = 42);
+
+  std::string name() const override;
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+
+  /// Calls seen / faults injected so far.
+  std::size_t num_calls() const { return injector_.calls(kSite); }
+  std::size_t num_faults() const { return injector_.faults(kSite); }
+  /// Total injected (virtual) latency, seconds.
+  double simulated_latency_seconds() const { return simulated_latency_; }
+
+  /// The underlying injector, e.g. to rewire the plan mid-test.
+  FaultInjector* mutable_injector() { return &injector_; }
+
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& state) override;
+
+ private:
+  static constexpr const char* kSite = "oracle";
+
+  FeedbackOracle* inner_;
+  std::unique_ptr<FeedbackOracle> owned_;
+  FaultInjector injector_;
+  double simulated_latency_ = 0.0;
+};
+
+/// Per-oracle aggregate retry accounting.
+struct OracleRetryStats {
+  std::size_t total_attempts = 0;  ///< Oracle calls issued, incl. first tries.
+  std::size_t total_retries = 0;   ///< Attempts beyond the first per answer.
+  std::size_t exhausted = 0;       ///< Answers that still failed after retry.
+  double total_backoff_seconds = 0.0;  ///< Virtual backoff accumulated.
+};
+
+/// Wraps any oracle with a RetryPolicy: transient failures (Unavailable,
+/// DeadlineExceeded) are retried with exponential backoff; abstentions and
+/// hard errors fail fast. Per-item attempt counts are kept so a session
+/// trace can report how hard each validation was.
+class RetryingOracle : public FeedbackOracle {
+ public:
+  /// Non-owning: `inner` must outlive the decorator.
+  RetryingOracle(FeedbackOracle* inner, RetryPolicy policy);
+  /// Owning variant for factory-built chains.
+  RetryingOracle(std::unique_ptr<FeedbackOracle> inner, RetryPolicy policy);
+
+  std::string name() const override;
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+
+  std::size_t last_attempts() const override { return last_attempts_; }
+  const OracleRetryStats& stats() const { return stats_; }
+  /// Attempts spent per item across the oracle's lifetime.
+  const std::unordered_map<ItemId, std::size_t>& attempts_per_item() const {
+    return attempts_per_item_;
+  }
+
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& state) override;
+
+ private:
+  FeedbackOracle* inner_;
+  std::unique_ptr<FeedbackOracle> owned_;
+  RetryPolicy policy_;
+  std::size_t last_attempts_ = 1;
+  OracleRetryStats stats_;
+  std::unordered_map<ItemId, std::size_t> attempts_per_item_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_RESILIENT_ORACLE_H_

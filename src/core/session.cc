@@ -1,11 +1,49 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
 
 #include "core/metrics.h"
+#include "core/session_checkpoint.h"
 #include "util/timer.h"
 
 namespace veritas {
+
+namespace {
+
+/// Failures a degraded session survives by skipping the item: the oracle was
+/// unreachable, ran out of (retry) time, or explicitly declined. Everything
+/// else — unknown ground truth, out-of-range ids, internal errors — signals
+/// a misconfigured run and still aborts.
+bool IsSkippableOracleFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kAbstained;
+}
+
+std::string SerializeRngState(Rng* rng) {
+  if (rng == nullptr) return "";
+  std::ostringstream out;
+  out << rng->engine();
+  return out.str();
+}
+
+Status RestoreRngState(Rng* rng, const std::string& state) {
+  if (state.empty()) return Status::OK();
+  if (rng == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpoint has an Rng state but the session has no Rng");
+  }
+  std::istringstream in(state);
+  if (!(in >> rng->engine())) {
+    return Status::InvalidArgument("checkpoint: bad session Rng state");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 double SessionTrace::DistanceReductionPercent(std::size_t idx) const {
   if (idx >= steps.size() || initial_distance == 0.0) return 0.0;
@@ -42,11 +80,69 @@ Result<SessionTrace> FeedbackSession::Run() {
   strategy_->Reset();
   const ItemGraph graph(db_);
 
-  FusionResult fusion = model_.Fuse(db_, trace.priors, options_.fusion);
-  trace.initial_distance = DistanceToGroundTruth(db_, fusion, truth_);
-  trace.initial_uncertainty = Uncertainty(fusion);
-
+  std::unordered_set<ItemId> skipped_set;
   std::size_t validated = 0;
+  FusionResult fusion;
+  bool resumed = false;
+
+  if (!options_.resume_path.empty()) {
+    auto loaded = LoadSessionCheckpoint(options_.resume_path, db_);
+    if (loaded.ok()) {
+      SessionCheckpoint cp = std::move(loaded).value();
+      trace.initial_distance = cp.initial_distance;
+      trace.initial_uncertainty = cp.initial_uncertainty;
+      trace.steps = std::move(cp.steps);
+      trace.skipped_items = std::move(cp.skipped_items);
+      trace.total_oracle_retries = cp.total_oracle_retries;
+      trace.fusion_nonconverged_rounds = cp.fusion_nonconverged_rounds;
+      trace.fusion_fallback_rounds = cp.fusion_fallback_rounds;
+      trace.priors = std::move(cp.priors);
+      skipped_set.insert(trace.skipped_items.begin(),
+                         trace.skipped_items.end());
+      validated = cp.num_validated;
+      // Resume from the checkpointed fusion state verbatim instead of
+      // re-fusing: warm-started rounds then continue bit-identically to the
+      // uninterrupted run.
+      fusion = std::move(cp.fusion);
+      VERITAS_RETURN_IF_ERROR(RestoreRngState(rng_, cp.rng_state));
+      VERITAS_RETURN_IF_ERROR(oracle_->RestoreState(cp.oracle_state));
+      resumed = true;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();  // Corrupt checkpoint: refuse to guess.
+    }
+    // NotFound: fresh start with the same flags.
+  }
+
+  if (!resumed) {
+    fusion = model_.Fuse(db_, trace.priors, options_.fusion);
+    trace.initial_distance = DistanceToGroundTruth(db_, fusion, truth_);
+    trace.initial_uncertainty = Uncertainty(fusion);
+  }
+
+  std::size_t rounds_since_checkpoint = 0;
+  const auto maybe_checkpoint = [&](bool force) -> Status {
+    if (options_.checkpoint_path.empty()) return Status::OK();
+    if (!force &&
+        ++rounds_since_checkpoint < options_.checkpoint_every_rounds) {
+      return Status::OK();
+    }
+    rounds_since_checkpoint = 0;
+    SessionCheckpoint cp;
+    cp.num_validated = validated;
+    cp.initial_distance = trace.initial_distance;
+    cp.initial_uncertainty = trace.initial_uncertainty;
+    cp.total_oracle_retries = trace.total_oracle_retries;
+    cp.fusion_nonconverged_rounds = trace.fusion_nonconverged_rounds;
+    cp.fusion_fallback_rounds = trace.fusion_fallback_rounds;
+    cp.steps = trace.steps;
+    cp.skipped_items = trace.skipped_items;
+    cp.priors = trace.priors;
+    cp.fusion = fusion;
+    cp.rng_state = SerializeRngState(rng_);
+    cp.oracle_state = oracle_->SerializeState();
+    return SaveSessionCheckpoint(cp, options_.checkpoint_path);
+  };
+
   while (validated < options_.max_validations) {
     StrategyContext ctx;
     ctx.db = &db_;
@@ -57,6 +153,7 @@ Result<SessionTrace> FeedbackSession::Run() {
     ctx.ground_truth = &truth_;
     ctx.graph = &graph;
     ctx.rng = rng_;
+    ctx.excluded = &skipped_set;
     ctx.include_singletons = options_.include_singletons;
     ctx.warm_start_lookahead = options_.warm_start;
 
@@ -69,22 +166,49 @@ Result<SessionTrace> FeedbackSession::Run() {
     if (batch.empty()) break;  // Candidate pool exhausted.
 
     SessionStep step;
-    step.items = batch;
     step.select_seconds = select_seconds;
 
     for (ItemId item : batch) {
       auto answer = oracle_->Answer(db_, item, truth_, rng_);
-      if (!answer.ok()) return answer.status();
+      step.oracle_retries += oracle_->last_attempts() - 1;
+      if (!answer.ok()) {
+        if (options_.skip_unanswerable &&
+            IsSkippableOracleFailure(answer.status().code())) {
+          // Graceful degradation: remember the item so the strategy moves to
+          // its next-best suggestion instead of re-proposing it forever.
+          step.skipped.push_back(item);
+          trace.skipped_items.push_back(item);
+          skipped_set.insert(item);
+          continue;
+        }
+        return answer.status();
+      }
       VERITAS_RETURN_IF_ERROR(
           trace.priors.SetDistribution(db_, item, std::move(answer).value()));
+      step.items.push_back(item);
       ++validated;
     }
+    trace.total_oracle_retries += step.oracle_retries;
 
-    Timer fuse_timer;
-    fusion = options_.warm_start
-                 ? model_.Fuse(db_, trace.priors, options_.fusion, &fusion)
-                 : model_.Fuse(db_, trace.priors, options_.fusion);
-    step.fuse_seconds = fuse_timer.ElapsedSeconds();
+    if (!step.items.empty()) {
+      Timer fuse_timer;
+      FusionResult next =
+          options_.warm_start
+              ? model_.Fuse(db_, trace.priors, options_.fusion, &fusion)
+              : model_.Fuse(db_, trace.priors, options_.fusion);
+      step.fuse_seconds = fuse_timer.ElapsedSeconds();
+
+      if (!next.converged()) ++trace.fusion_nonconverged_rounds;
+      const bool reject_nonconverged =
+          options_.rollback_on_nonconvergence && !next.converged();
+      if (!next.AllFinite() || reject_nonconverged) {
+        // Warm-start rollback: keep the last-good fusion instead of
+        // propagating a poisoned or partial result into strategy scores.
+        ++trace.fusion_fallback_rounds;
+      } else {
+        fusion = std::move(next);
+      }
+    }
 
     step.num_validated = validated;
     if (options_.record_metrics) {
@@ -92,8 +216,10 @@ Result<SessionTrace> FeedbackSession::Run() {
       step.uncertainty = Uncertainty(fusion);
     }
     trace.steps.push_back(std::move(step));
+    VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/false));
   }
 
+  VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/true));
   trace.final_fusion = std::move(fusion);
   return trace;
 }

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/oracle.h"
@@ -30,12 +31,35 @@ struct SessionOptions {
   bool warm_start = true;
   /// Record per-step metrics (disable for pure timing runs).
   bool record_metrics = true;
+  /// Graceful degradation: when an oracle answer ultimately fails with a
+  /// transient/abstain status (Unavailable, DeadlineExceeded, Abstained),
+  /// skip the item — record it and move to the strategy's next-best
+  /// suggestion — instead of aborting the whole run. Hard errors (unknown
+  /// ground truth, out-of-range ids) still abort.
+  bool skip_unanswerable = true;
+  /// When a re-fusion reports converged() == false, roll back to the
+  /// last-good FusionResult instead of using the partial result. Off by
+  /// default: non-converged results are still usable (§3), and rolling back
+  /// freezes the beliefs until the next validation. Non-finite re-fusions
+  /// are always rolled back regardless of this flag.
+  bool rollback_on_nonconvergence = false;
+  /// Write a resumable snapshot to this path ("" = no checkpointing) every
+  /// `checkpoint_every_rounds` validation rounds and at completion.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_rounds = 1;
+  /// Resume from this checkpoint when the file exists; a missing file means
+  /// a fresh start (so the same flags work for the first and the restarted
+  /// invocation). Corrupt checkpoints fail the run.
+  std::string resume_path;
 };
 
 /// Metrics after one validation round.
 struct SessionStep {
   std::size_t num_validated = 0;      ///< Cumulative items validated.
   std::vector<ItemId> items;          ///< Items validated this round.
+  std::vector<ItemId> skipped;        ///< Items skipped this round (oracle
+                                      ///< failure after retries).
+  std::size_t oracle_retries = 0;     ///< Oracle attempts beyond the first.
   double distance = 0.0;              ///< distance_to_ground_truth after.
   double uncertainty = 0.0;           ///< Total entropy after.
   double select_seconds = 0.0;        ///< Time the strategy took to decide.
@@ -49,6 +73,15 @@ struct SessionTrace {
   std::vector<SessionStep> steps;
   FusionResult final_fusion;
   PriorSet priors;  ///< All feedback acquired.
+  /// Items the oracle ultimately failed to answer, in skip order.
+  std::vector<ItemId> skipped_items;
+  /// Oracle attempts beyond the first, summed over the whole session.
+  std::size_t total_oracle_retries = 0;
+  /// Re-fusions that reported converged() == false.
+  std::size_t fusion_nonconverged_rounds = 0;
+  /// Re-fusions discarded in favor of the last-good result (non-finite
+  /// output, or non-convergence with rollback_on_nonconvergence set).
+  std::size_t fusion_fallback_rounds = 0;
 
   /// Relative change of distance after `steps[idx]` vs the initial value, in
   /// percent (negative = improvement); mirrors the paper's Figure 3 y-axis.
@@ -70,7 +103,9 @@ class FeedbackSession {
                   const GroundTruth& truth, SessionOptions options,
                   Rng* rng);
 
-  /// Runs the loop. Fails if the oracle cannot answer a selected item.
+  /// Runs the loop. Transient oracle failures skip the affected item when
+  /// options.skip_unanswerable is set (the default); hard failures — unknown
+  /// ground truth, out-of-range ids — abort the run.
   Result<SessionTrace> Run();
 
  private:

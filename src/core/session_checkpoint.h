@@ -1,0 +1,64 @@
+// Checkpoint/resume for long feedback sessions. A session that asks a real
+// expert for hundreds of validations runs for hours; if the process dies the
+// acquired feedback must not die with it. A SessionCheckpoint serializes
+// everything needed to continue *exactly* where the session stopped — the
+// validated PriorSet, the per-step metrics recorded so far, the current
+// FusionResult (so warm-started re-fusions resume from the identical state),
+// the session Rng stream and any stateful oracle's fault schedule — to a
+// versioned text file. Doubles round-trip bit-exactly (hex-float encoding),
+// so a killed-and-resumed run produces a SessionTrace identical to an
+// uninterrupted one under the same seed.
+#ifndef VERITAS_CORE_SESSION_CHECKPOINT_H_
+#define VERITAS_CORE_SESSION_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "fusion/fusion_result.h"
+#include "fusion/priors.h"
+#include "model/database.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Resumable snapshot of a FeedbackSession mid-run.
+struct SessionCheckpoint {
+  /// Bumped whenever the on-disk layout changes; loaders reject versions
+  /// they do not understand.
+  static constexpr int kFormatVersion = 1;
+
+  std::size_t num_validated = 0;
+  double initial_distance = 0.0;
+  double initial_uncertainty = 0.0;
+  std::size_t total_oracle_retries = 0;
+  std::size_t fusion_nonconverged_rounds = 0;
+  std::size_t fusion_fallback_rounds = 0;
+  std::vector<SessionStep> steps;
+  std::vector<ItemId> skipped_items;
+  PriorSet priors;
+  /// The session's current (last-good) fusion output; resuming warm-starts
+  /// from this instead of re-fusing cold, which keeps resumed traces
+  /// bit-identical to uninterrupted ones.
+  FusionResult fusion;
+  /// Serialized session Rng engine ("" when the session has no Rng).
+  std::string rng_state;
+  /// Opaque oracle state (see FeedbackOracle::SerializeState; "").
+  std::string oracle_state;
+};
+
+/// Writes `checkpoint` to `path` atomically (temp file + rename), so a crash
+/// mid-write leaves the previous checkpoint intact.
+Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,
+                             const std::string& path);
+
+/// Reads a checkpoint back. `db` validates item ids and claim counts — a
+/// checkpoint only makes sense against the dataset that produced it.
+/// NotFound when `path` does not exist; InvalidArgument on version mismatch
+/// or corruption.
+Result<SessionCheckpoint> LoadSessionCheckpoint(const std::string& path,
+                                                const Database& db);
+
+}  // namespace veritas
+
+#endif  // VERITAS_CORE_SESSION_CHECKPOINT_H_

@@ -18,6 +18,7 @@ std::vector<ItemId> CandidateItems(const StrategyContext& ctx) {
   const Database& db = *ctx.db;
   for (ItemId i = 0; i < db.num_items(); ++i) {
     if (ctx.priors->Has(i)) continue;
+    if (ctx.excluded != nullptr && ctx.excluded->count(i) > 0) continue;
     if (!ctx.include_singletons && !db.HasConflict(i)) continue;
     out.push_back(i);
   }

@@ -6,6 +6,7 @@
 #define VERITAS_CORE_STRATEGY_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "fusion/fusion_model.h"
@@ -30,6 +31,10 @@ struct StrategyContext {
   const GroundTruth* ground_truth = nullptr;  ///< Only for GUB.
   const ItemGraph* graph = nullptr;           ///< For Approx-MEU.
   Rng* rng = nullptr;                         ///< For Random.
+  /// Items the session could not validate (oracle permanently failed or the
+  /// user marked them unanswerable); excluded from the action space like
+  /// validated items. May be null.
+  const std::unordered_set<ItemId>* excluded = nullptr;
   /// When true, items with a single claim are also candidates (the paper's
   /// worked example validates such an item; real experiments do not).
   bool include_singletons = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <utility>
 
 #include "util/math.h"
 
@@ -35,6 +36,10 @@ std::vector<WorkerAnswer> WorkerPool::Ask(const Database& db, ItemId item,
     const std::size_t pick = t + rng_.UniformIndex(ids.size() - t);
     std::swap(ids[t], ids[pick]);
     const WorkerId worker = ids[t];
+    if (fault_injector_ != nullptr && fault_injector_->ShouldFail(fault_site_)) {
+      ++no_shows_;  // The worker never answers; the slot is simply lost.
+      continue;
+    }
     ++answer_counts_[worker];
     WorkerAnswer answer;
     answer.worker = worker;
@@ -50,6 +55,12 @@ std::vector<WorkerAnswer> WorkerPool::Ask(const Database& db, ItemId item,
     answers.push_back(answer);
   }
   return answers;
+}
+
+void WorkerPool::set_fault_injector(FaultInjector* injector,
+                                    std::string site) {
+  fault_injector_ = injector;
+  fault_site_ = std::move(site);
 }
 
 }  // namespace veritas

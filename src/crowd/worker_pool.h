@@ -14,6 +14,7 @@
 
 #include "model/database.h"
 #include "model/ground_truth.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace veritas {
@@ -51,8 +52,11 @@ class WorkerPool {
   /// exposed for tests and diagnostics).
   double true_accuracy(WorkerId worker) const { return accuracies_[worker]; }
 
-  /// Collects `config.answers_per_item` answers for `item` from distinct
-  /// random workers. Requires known ground truth for the item.
+  /// Collects up to `config.answers_per_item` answers for `item` from
+  /// distinct random workers. Requires known ground truth for the item.
+  /// Sampled workers may fail to show up when a fault injector is attached
+  /// (CrowdFusion-style worker no-shows); fewer answers come back then —
+  /// possibly none, which consolidation must tolerate.
   std::vector<WorkerAnswer> Ask(const Database& db, ItemId item,
                                 const GroundTruth& truth);
 
@@ -62,11 +66,23 @@ class WorkerPool {
     return answer_counts_;
   }
 
+  /// Attaches a fault injector consulted once per sampled worker under
+  /// `site`; a triggered fault means that worker never answers (no-show).
+  /// Non-owning; pass nullptr to detach.
+  void set_fault_injector(FaultInjector* injector,
+                          std::string site = "worker");
+
+  /// Sampled worker slots that never answered due to injected no-shows.
+  std::size_t num_no_shows() const { return no_shows_; }
+
  private:
   std::vector<double> accuracies_;
   std::vector<std::size_t> answer_counts_;
   std::size_t answers_per_item_;
   Rng rng_;
+  FaultInjector* fault_injector_ = nullptr;
+  std::string fault_site_;
+  std::size_t no_shows_ = 0;
 };
 
 }  // namespace veritas

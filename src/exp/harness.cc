@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "core/strategy_factory.h"
 #include "fusion/accu.h"
@@ -62,6 +63,19 @@ Result<CurveResult> RunCurve(const Database& db, const GroundTruth& truth,
   FeedbackSession feedback(db, model, strategy.get(), oracle, truth, session,
                            &rng);
   VERITAS_ASSIGN_OR_RETURN(SessionTrace trace, feedback.Run());
+
+  // Surface silent non-convergence (§3's caveat): the curves are still
+  // produced, but the reader should know some rounds used partial results.
+  if (trace.fusion_nonconverged_rounds > 0 ||
+      !trace.final_fusion.converged()) {
+    std::cerr << "warning: fusion did not converge in "
+              << trace.fusion_nonconverged_rounds << " of "
+              << trace.steps.size() << " round(s) for strategy '"
+              << strategy_name << "' (final fusion "
+              << (trace.final_fusion.converged() ? "converged"
+                                                 : "not converged")
+              << ")\n";
+  }
 
   CurveResult result;
   result.strategy = strategy_name;

@@ -1,5 +1,7 @@
 #include "fusion/fusion_result.h"
 
+#include <cmath>
+
 #include "util/math.h"
 
 namespace veritas {
@@ -24,6 +26,18 @@ double FusionResult::TotalEntropy() const {
   double total = 0.0;
   for (const auto& p : probs_) total += Entropy(p);
   return total;
+}
+
+bool FusionResult::AllFinite() const {
+  for (const auto& item : probs_) {
+    for (double p : item) {
+      if (!std::isfinite(p)) return false;
+    }
+  }
+  for (double a : accuracies_) {
+    if (!std::isfinite(a)) return false;
+  }
+  return true;
 }
 
 }  // namespace veritas

@@ -54,6 +54,11 @@ class FusionResult {
   bool converged() const { return converged_; }
   void set_converged(bool c) { converged_ = c; }
 
+  /// True when every probability and accuracy is finite — the sanity gate a
+  /// session checks before accepting a re-fusion (a NaN here would silently
+  /// poison every downstream strategy score).
+  bool AllFinite() const;
+
  private:
   std::vector<std::vector<double>> probs_;
   std::vector<double> accuracies_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/math.h"
+
 namespace veritas {
 
 Status PriorSet::SetExact(const Database& db, ItemId item, ClaimIndex claim) {
@@ -28,6 +30,9 @@ Status PriorSet::SetDistribution(const Database& db, ItemId item,
         "prior: distribution size does not match claim count of item '" +
         db.item(item).name + "'");
   }
+  // NaN compares false against every bound, so the range checks below would
+  // silently accept a poisoned distribution; reject non-finite values first.
+  VERITAS_RETURN_IF_ERROR(CheckFinite(probs, "prior distribution"));
   double sum = 0.0;
   for (double p : probs) {
     if (p < -1e-12 || p > 1.0 + 1e-12) {

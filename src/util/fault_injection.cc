@@ -1,0 +1,188 @@
+#include "util/fault_injection.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace veritas {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kUnavailable:
+      return "unavailable";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kAbstain:
+      return "abstain";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+std::uint64_t FaultInjector::SiteSeed(const std::string& site) const {
+  // FNV-1a: stable across platforms, unlike std::hash.
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : site) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h ^ seed_;
+}
+
+void FaultInjector::SetPlan(const std::string& site, FaultPlan plan) {
+  Site s;
+  s.plan = plan;
+  s.engine.seed(SiteSeed(site));
+  sites_[site] = std::move(s);
+}
+
+bool FaultInjector::HasPlan(const std::string& site) const {
+  return sites_.count(site) > 0;
+}
+
+FaultOutcome FaultInjector::Next(const std::string& site) {
+  FaultOutcome outcome;
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return outcome;
+  Site& s = it->second;
+  ++s.calls;
+  bool triggered = s.calls <= s.plan.fail_first_n;
+  if (!triggered && s.plan.fail_every_k > 0) {
+    triggered = s.calls % s.plan.fail_every_k == 0;
+  }
+  if (!triggered && s.plan.probability > 0.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    triggered = dist(s.engine) < s.plan.probability;
+  }
+  if (triggered) {
+    outcome.kind = s.plan.kind;
+    outcome.latency_seconds = s.plan.latency_seconds;
+    if (outcome.kind != FaultKind::kNone) ++s.faults;
+  }
+  return outcome;
+}
+
+std::size_t FaultInjector::calls(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+std::size_t FaultInjector::faults(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.faults;
+}
+
+void FaultInjector::Reset() {
+  for (auto& [site, s] : sites_) {
+    s.calls = 0;
+    s.faults = 0;
+    s.engine.seed(SiteSeed(site));
+  }
+}
+
+std::string FaultInjector::SerializeState() const {
+  std::ostringstream out;
+  out << sites_.size();
+  for (const auto& [site, s] : sites_) {
+    out << " " << site << " " << s.calls << " " << s.faults << " "
+        << s.engine;  // mt19937_64 streams as space-separated integers.
+  }
+  return out.str();
+}
+
+Status FaultInjector::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  std::size_t n = 0;
+  if (!(in >> n)) {
+    return Status::InvalidArgument("fault injector state: missing site count");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string site;
+    std::size_t calls = 0, faults = 0;
+    if (!(in >> site >> calls >> faults)) {
+      return Status::InvalidArgument(
+          "fault injector state: truncated site record");
+    }
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      return Status::FailedPrecondition(
+          "fault injector state names unknown site '" + site +
+          "'; install its plan before restoring");
+    }
+    it->second.calls = calls;
+    it->second.faults = faults;
+    if (!(in >> it->second.engine)) {
+      return Status::InvalidArgument(
+          "fault injector state: bad RNG stream for site '" + site + "'");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<double> ParsePlanNumber(const std::string& text) {
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad fault plan number: '" + text + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty fault plan spec");
+  }
+  for (const std::string& part : Split(spec, ',')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      // Bare number: shorthand for prob=<number>.
+      VERITAS_ASSIGN_OR_RETURN(plan.probability, ParsePlanNumber(part));
+      continue;
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "prob") {
+      VERITAS_ASSIGN_OR_RETURN(plan.probability, ParsePlanNumber(value));
+    } else if (key == "first") {
+      VERITAS_ASSIGN_OR_RETURN(double v, ParsePlanNumber(value));
+      plan.fail_first_n = static_cast<std::size_t>(v);
+    } else if (key == "every") {
+      VERITAS_ASSIGN_OR_RETURN(double v, ParsePlanNumber(value));
+      plan.fail_every_k = static_cast<std::size_t>(v);
+    } else if (key == "latency") {
+      VERITAS_ASSIGN_OR_RETURN(plan.latency_seconds, ParsePlanNumber(value));
+    } else if (key == "kind") {
+      if (value == "unavailable") {
+        plan.kind = FaultKind::kUnavailable;
+      } else if (value == "timeout") {
+        plan.kind = FaultKind::kTimeout;
+      } else if (value == "abstain") {
+        plan.kind = FaultKind::kAbstain;
+      } else if (value == "none") {
+        plan.kind = FaultKind::kNone;
+      } else {
+        return Status::InvalidArgument("unknown fault kind: '" + value + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault plan key: '" + key + "'");
+    }
+  }
+  if (plan.probability < 0.0 || plan.probability > 1.0) {
+    return Status::InvalidArgument("fault probability must be in [0, 1]");
+  }
+  if (plan.latency_seconds < 0.0) {
+    return Status::InvalidArgument("fault latency must be >= 0");
+  }
+  return plan;
+}
+
+}  // namespace veritas

@@ -1,0 +1,119 @@
+// Deterministic fault injection for robustness testing. Real deployments of
+// the feedback loop face experts who go silent, crowdsourcing platforms that
+// time out and workers who never show up; a FaultInjector lets any component
+// consult a seeded, reproducible plan of such faults so degraded-mode
+// behavior can be exercised in tests and experiments bit-for-bit identically
+// across runs.
+//
+// A plan combines schedule-based triggers (fail the first N calls, fail
+// every k-th call) with a probability-based trigger; triggered calls carry a
+// FaultKind (unavailable / timeout / abstain) and an optional simulated
+// latency spike. Plans are registered per "site" — a short label like
+// "oracle" or "worker" — each with an independent deterministic stream.
+#ifndef VERITAS_UTIL_FAULT_INJECTION_H_
+#define VERITAS_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+
+#include "util/result.h"
+
+namespace veritas {
+
+/// What a triggered fault looks like to the consulting component.
+enum class FaultKind {
+  kNone = 0,     ///< No fault (or a pure latency spike).
+  kUnavailable,  ///< Transient outage; maps to Status::Unavailable.
+  kTimeout,      ///< The call timed out; maps to Status::DeadlineExceeded.
+  kAbstain,      ///< The answering party declined; maps to Status::Abstained.
+};
+
+/// Stable name ("none", "unavailable", "timeout", "abstain").
+const char* FaultKindName(FaultKind kind);
+
+/// A reproducible fault schedule for one site. All triggers compose: a call
+/// faults when it is among the first `fail_first_n`, or lands on the
+/// `fail_every_k` schedule, or the per-call Bernoulli(probability) fires.
+struct FaultPlan {
+  /// Kind of the injected fault. kNone turns triggers into pure latency
+  /// spikes (slow successes).
+  FaultKind kind = FaultKind::kUnavailable;
+  /// Per-call failure probability in [0, 1].
+  double probability = 0.0;
+  /// The first N calls fail (fail-N-times; models a cold outage).
+  std::size_t fail_first_n = 0;
+  /// Every k-th call fails (1-based; 0 disables the schedule).
+  std::size_t fail_every_k = 0;
+  /// Simulated latency attached to triggered calls, seconds. Never slept;
+  /// reported to the caller for virtual-time accounting.
+  double latency_seconds = 0.0;
+};
+
+/// The injector's verdict for one call.
+struct FaultOutcome {
+  FaultKind kind = FaultKind::kNone;
+  double latency_seconds = 0.0;
+};
+
+/// Seeded registry of per-site fault plans. Sites without a plan never
+/// fault. Not thread-safe; use one injector per session/thread.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 42);
+
+  /// Installs (or replaces) the plan for `site` and resets its counters.
+  /// Site names must not contain whitespace (they appear in serialized
+  /// checkpoint state).
+  void SetPlan(const std::string& site, FaultPlan plan);
+
+  bool HasPlan(const std::string& site) const;
+
+  /// Advances `site`'s call counter and returns the verdict for this call.
+  /// Unknown sites always yield kNone.
+  FaultOutcome Next(const std::string& site);
+
+  /// Convenience: true when Next(site) triggers a real fault.
+  bool ShouldFail(const std::string& site) {
+    return Next(site).kind != FaultKind::kNone;
+  }
+
+  /// Calls consulted / faults triggered so far for `site`.
+  std::size_t calls(const std::string& site) const;
+  std::size_t faults(const std::string& site) const;
+
+  /// Rewinds every site to its initial state (counters and streams).
+  void Reset();
+
+  /// Single-line opaque state (counters + RNG streams) for checkpointing a
+  /// session mid-run; plans themselves are configuration, not state, and
+  /// must be re-installed before RestoreState.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& state);
+
+ private:
+  struct Site {
+    FaultPlan plan;
+    std::size_t calls = 0;
+    std::size_t faults = 0;
+    std::mt19937_64 engine;
+  };
+
+  /// Stable per-site seed (FNV-1a over the site name, mixed with seed_) so
+  /// streams do not depend on registration order.
+  std::uint64_t SiteSeed(const std::string& site) const;
+
+  std::uint64_t seed_;
+  std::map<std::string, Site> sites_;  // Ordered for stable serialization.
+};
+
+/// Parses a plan spec: comma-separated key=value pairs with keys `prob`,
+/// `first`, `every`, `latency`, `kind` (unavailable|timeout|abstain|none),
+/// e.g. "prob=0.3,kind=timeout,latency=0.05". A bare number is shorthand
+/// for "prob=<number>".
+Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_FAULT_INJECTION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 namespace veritas {
 
@@ -15,6 +16,7 @@ double ClampProb(double p) { return Clamp(p, 0.0, 1.0); }
 double ClampAccuracy(double a) { return Clamp(a, kMinAccuracy, kMaxAccuracy); }
 
 double EntropyTerm(double p) {
+  if (!std::isfinite(p)) return 0.0;
   p = ClampProb(p);
   if (p <= 0.0) return 0.0;
   return -p * std::log(p);
@@ -51,9 +53,12 @@ std::vector<double> SoftmaxFromLogScores(const std::vector<double>& scores) {
 
 std::vector<double> Normalize(const std::vector<double>& weights) {
   std::vector<double> out(weights.size(), 0.0);
+  const auto usable = [](double w) { return std::isfinite(w) && w > 0.0; };
   double sum = 0.0;
-  for (double w : weights) sum += std::max(w, 0.0);
-  if (sum <= 0.0) {
+  for (double w : weights) {
+    if (usable(w)) sum += w;
+  }
+  if (sum <= 0.0 || !std::isfinite(sum)) {
     if (!out.empty()) {
       const double u = 1.0 / static_cast<double>(out.size());
       std::fill(out.begin(), out.end(), u);
@@ -61,9 +66,19 @@ std::vector<double> Normalize(const std::vector<double>& weights) {
     return out;
   }
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    out[i] = std::max(weights[i], 0.0) / sum;
+    out[i] = usable(weights[i]) ? weights[i] / sum : 0.0;
   }
   return out;
+}
+
+Status CheckFinite(const std::vector<double>& values, const char* what) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return Status::Internal(std::string(what) + ": non-finite value at index " +
+                              std::to_string(i));
+    }
+  }
+  return Status::OK();
 }
 
 std::size_t ArgMax(const std::vector<double>& xs) {

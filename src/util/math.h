@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/status.h"
+
 namespace veritas {
 
 /// Probabilities are clamped to [kProbEpsilon, 1 - kProbEpsilon] wherever a
@@ -29,7 +31,8 @@ double ClampProb(double p);
 /// Clamps a source accuracy into [kMinAccuracy, kMaxAccuracy].
 double ClampAccuracy(double a);
 
-/// -p*ln(p), with the 0*ln(0) = 0 convention. p outside [0,1] is clamped.
+/// -p*ln(p), with the 0*ln(0) = 0 convention. p outside [0,1] is clamped;
+/// NaN/Inf inputs contribute 0 instead of poisoning the sum.
 double EntropyTerm(double p);
 
 /// Shannon entropy (nats) of a distribution. Does not require the input to be
@@ -47,8 +50,15 @@ double LogSumExp(const std::vector<double>& xs);
 std::vector<double> SoftmaxFromLogScores(const std::vector<double>& scores);
 
 /// Normalizes a non-negative vector to sum to 1. All-zero input becomes the
-/// uniform distribution.
+/// uniform distribution. Negative and non-finite weights are treated as 0 so
+/// a single NaN/Inf cannot poison the whole distribution.
 std::vector<double> Normalize(const std::vector<double>& weights);
+
+/// Internal error when any value is NaN or +/-Inf; `what` names the vector
+/// in the message (e.g. "prior distribution"). Use this at trust boundaries
+/// so non-finite numbers surface as a Status instead of propagating into
+/// strategy scores.
+Status CheckFinite(const std::vector<double>& values, const char* what);
 
 /// Index of the maximum element; first occurrence wins. Empty input yields 0.
 std::size_t ArgMax(const std::vector<double>& xs);

@@ -1,0 +1,25 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veritas {
+
+bool RetryPolicy::IsRetryable(StatusCode code) const {
+  return std::find(retryable_codes.begin(), retryable_codes.end(), code) !=
+         retryable_codes.end();
+}
+
+double RetryPolicy::BackoffSeconds(std::size_t retry, Rng* rng) const {
+  if (retry == 0) retry = 1;
+  double backoff = initial_backoff_seconds *
+                   std::pow(backoff_multiplier,
+                            static_cast<double>(retry - 1));
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    backoff *= 1.0 + rng->Uniform(-jitter_fraction, jitter_fraction);
+  }
+  return std::max(backoff, 0.0);
+}
+
+}  // namespace veritas

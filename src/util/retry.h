@@ -1,0 +1,93 @@
+// Generic retry execution for Result<T>-returning callables. Transient
+// failures (Status::Unavailable, Status::DeadlineExceeded) are the norm once
+// a real expert or crowdsourcing platform answers validation requests; a
+// RetryPolicy bounds how hard the system tries before giving up so one
+// silent worker cannot stall a whole feedback session.
+//
+// Backoff is *virtual*: the schedule is computed and accounted against the
+// overall deadline, but never slept. That keeps retrying sessions
+// deterministic and fast in tests; a production transport can sleep for
+// RetryStats::total_backoff_seconds if it wants wall-clock pacing.
+#ifndef VERITAS_UTIL_RETRY_H_
+#define VERITAS_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace veritas {
+
+/// Bounds on the retry loop.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  std::size_t max_attempts = 3;
+  /// Backoff before retry i (1-based) is
+  /// initial * multiplier^(i-1), capped at `max_backoff_seconds`.
+  double initial_backoff_seconds = 0.1;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 10.0;
+  /// Each backoff is scaled by 1 + U(-jitter, +jitter) when an Rng is
+  /// provided (decorrelates retry storms; 0 = deterministic schedule).
+  double jitter_fraction = 0.0;
+  /// Overall virtual-time budget: retrying stops once the accumulated
+  /// backoff would exceed this.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Codes worth retrying; everything else fails fast.
+  std::vector<StatusCode> retryable_codes = {StatusCode::kUnavailable,
+                                             StatusCode::kDeadlineExceeded};
+
+  bool IsRetryable(StatusCode code) const;
+
+  /// Backoff before the `retry`-th retry (1-based), jittered by `rng` (may
+  /// be null).
+  double BackoffSeconds(std::size_t retry, Rng* rng) const;
+};
+
+/// What happened during one RetryCall.
+struct RetryStats {
+  std::size_t attempts = 0;               ///< Tries actually made.
+  double total_backoff_seconds = 0.0;     ///< Virtual backoff accumulated.
+  bool deadline_expired = false;          ///< Stopped by the deadline.
+  Status last_error = Status::OK();       ///< Last non-OK status observed.
+};
+
+/// Runs `fn` (returning Result<T>) until it succeeds, a non-retryable error
+/// occurs, attempts run out, or the virtual deadline expires. `stats` and
+/// `rng` may be null. Returns the successful value, the first non-retryable
+/// error, or — after exhaustion — the last transient error (wrapped in
+/// DeadlineExceeded when the deadline ended the loop).
+template <typename T, typename Fn>
+Result<T> RetryCall(const RetryPolicy& policy, Fn&& fn, Rng* rng = nullptr,
+                    RetryStats* stats = nullptr) {
+  RetryStats local;
+  RetryStats& s = stats ? *stats : local;
+  s = RetryStats();
+  const std::size_t max_attempts = policy.max_attempts > 0
+                                       ? policy.max_attempts
+                                       : static_cast<std::size_t>(1);
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++s.attempts;
+    Result<T> result = fn();
+    if (result.ok()) return result;
+    s.last_error = result.status();
+    if (!policy.IsRetryable(result.status().code())) return result;
+    if (attempt == max_attempts) return result;
+    const double backoff = policy.BackoffSeconds(attempt, rng);
+    if (s.total_backoff_seconds + backoff > policy.deadline_seconds) {
+      s.deadline_expired = true;
+      return Status::DeadlineExceeded(
+          "retry deadline exceeded after " + std::to_string(s.attempts) +
+          " attempt(s); last error: " + s.last_error.ToString());
+    }
+    s.total_backoff_seconds += backoff;
+  }
+  return s.last_error;  // Unreachable; loop always returns.
+}
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_RETRY_H_

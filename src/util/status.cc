@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kAbstained:
+      return "Abstained";
   }
   return "Unknown";
 }

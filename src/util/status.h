@@ -20,6 +20,9 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
+  kUnavailable,       ///< Transient failure; retrying may succeed.
+  kDeadlineExceeded,  ///< The operation (or its retry budget) timed out.
+  kAbstained,         ///< The answering party declined; retrying is futile.
 };
 
 /// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -55,6 +58,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Abstained(std::string msg) {
+    return Status(StatusCode::kAbstained, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -148,5 +148,32 @@ TEST_F(InteractiveTest, QbcStateResetBetweenSessions) {
   EXPECT_TRUE(db_.HasConflict(suggestion->item));
 }
 
+TEST_F(InteractiveTest, MarkUnanswerableMovesToTheNextSuggestion) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  const auto first = session.NextSuggestion();
+  ASSERT_TRUE(first.ok());
+  // The expert cannot answer the top pick; the session must degrade to the
+  // strategy's next-best item instead of re-proposing it.
+  ASSERT_TRUE(session.MarkUnanswerable(first->item).ok());
+  EXPECT_EQ(session.num_unanswerable(), 1u);
+  const auto second = session.NextSuggestion();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->item, first->item);
+  // The expert came back: the item is suggestable again.
+  session.ClearUnanswerable(first->item);
+  EXPECT_EQ(session.num_unanswerable(), 0u);
+  const auto third = session.NextSuggestion();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->item, first->item);
+}
+
+TEST_F(InteractiveTest, MarkUnanswerableValidatesTheItemId) {
+  InteractiveSession session(db_, model_, &strategy_,
+                             PaperExampleFusionOptions());
+  EXPECT_EQ(session.MarkUnanswerable(db_.num_items()).code(),
+            StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace veritas

@@ -1,0 +1,244 @@
+// Tests of the resilient oracle decorators (FlakyOracle, RetryingOracle)
+// and of a FeedbackSession's graceful degradation when answers fail.
+#include "core/resilient_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/qbc.h"
+#include "core/session.h"
+#include "data/example_data.h"
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+
+namespace veritas {
+namespace {
+
+class ResilientOracleTest : public ::testing::Test {
+ protected:
+  Database db_ = MakeMovieDatabase();
+  GroundTruth truth_ = MakeMovieGroundTruth(db_);
+  AccuFusion model_;
+  Rng rng_{17};
+
+  ItemId FirstConflicting() const { return db_.ConflictingItems().front(); }
+};
+
+TEST_F(ResilientOracleTest, FlakyOracleInjectsTheConfiguredCode) {
+  const struct {
+    FaultKind kind;
+    StatusCode expected;
+  } cases[] = {
+      {FaultKind::kUnavailable, StatusCode::kUnavailable},
+      {FaultKind::kTimeout, StatusCode::kDeadlineExceeded},
+      {FaultKind::kAbstain, StatusCode::kAbstained},
+  };
+  for (const auto& c : cases) {
+    PerfectOracle inner;
+    FaultPlan plan;
+    plan.kind = c.kind;
+    plan.fail_first_n = 1;
+    FlakyOracle flaky(&inner, plan);
+    const auto first = flaky.Answer(db_, FirstConflicting(), truth_, &rng_);
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(first.status().code(), c.expected)
+        << FaultKindName(c.kind);
+    // After the injected outage the inner answer comes through.
+    const auto second = flaky.Answer(db_, FirstConflicting(), truth_, &rng_);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(flaky.num_calls(), 2u);
+    EXPECT_EQ(flaky.num_faults(), 1u);
+  }
+}
+
+TEST_F(ResilientOracleTest, FlakyOracleIsDeterministicUnderFixedSeed) {
+  FaultPlan plan;
+  plan.probability = 0.5;
+  PerfectOracle inner_a, inner_b;
+  FlakyOracle a(&inner_a, plan, /*seed=*/9);
+  FlakyOracle b(&inner_b, plan, /*seed=*/9);
+  const ItemId item = FirstConflicting();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Answer(db_, item, truth_, &rng_).ok(),
+              b.Answer(db_, item, truth_, &rng_).ok())
+        << "call " << i;
+  }
+  EXPECT_EQ(a.num_faults(), b.num_faults());
+}
+
+TEST_F(ResilientOracleTest, FlakyOracleAccumulatesLatencySpikes) {
+  FaultPlan plan;
+  plan.kind = FaultKind::kNone;  // Slow successes, not failures.
+  plan.probability = 1.0;
+  plan.latency_seconds = 0.5;
+  PerfectOracle inner;
+  FlakyOracle flaky(&inner, plan);
+  const ItemId item = FirstConflicting();
+  ASSERT_TRUE(flaky.Answer(db_, item, truth_, &rng_).ok());
+  ASSERT_TRUE(flaky.Answer(db_, item, truth_, &rng_).ok());
+  EXPECT_DOUBLE_EQ(flaky.simulated_latency_seconds(), 1.0);
+  EXPECT_EQ(flaky.num_faults(), 0u);
+}
+
+TEST_F(ResilientOracleTest, NamesDescribeTheDecoration) {
+  PerfectOracle inner;
+  FlakyOracle flaky(&inner, FaultPlan{});
+  EXPECT_EQ(flaky.name(), "flaky(perfect)");
+  RetryingOracle retrying(&flaky, RetryPolicy{});
+  EXPECT_EQ(retrying.name(), "retrying(flaky(perfect))");
+}
+
+TEST_F(ResilientOracleTest, RetryingOracleRecoversFromTransientOutage) {
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.fail_first_n = 2;
+  FlakyOracle flaky(&inner, plan);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingOracle oracle(&flaky, policy);
+  const ItemId item = FirstConflicting();
+  const auto answer = oracle.Answer(db_, item, truth_, &rng_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(oracle.last_attempts(), 3u);
+  EXPECT_EQ(oracle.stats().total_attempts, 3u);
+  EXPECT_EQ(oracle.stats().total_retries, 2u);
+  EXPECT_EQ(oracle.stats().exhausted, 0u);
+  ASSERT_TRUE(oracle.attempts_per_item().count(item));
+  EXPECT_EQ(oracle.attempts_per_item().at(item), 3u);
+}
+
+TEST_F(ResilientOracleTest, RetryingOracleGivesUpAfterExhaustion) {
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.fail_first_n = 10;
+  FlakyOracle flaky(&inner, plan);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingOracle oracle(&flaky, policy);
+  const auto answer = oracle.Answer(db_, FirstConflicting(), truth_, &rng_);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(oracle.last_attempts(), 3u);
+  EXPECT_EQ(oracle.stats().exhausted, 1u);
+}
+
+TEST_F(ResilientOracleTest, RetryingOracleDoesNotRetryAbstentions) {
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.kind = FaultKind::kAbstain;
+  plan.fail_first_n = 10;
+  FlakyOracle flaky(&inner, plan);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryingOracle oracle(&flaky, policy);
+  const auto answer = oracle.Answer(db_, FirstConflicting(), truth_, &rng_);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kAbstained);
+  EXPECT_EQ(oracle.last_attempts(), 1u);  // Re-asking a refusal is futile.
+}
+
+TEST_F(ResilientOracleTest, SessionSkipsUnanswerableItemsAndCompletes) {
+  // The ISSUE acceptance scenario: a 30%-flaky oracle (no retries) must not
+  // abort the session; failed items are skipped and recorded.
+  DenseConfig config;
+  config.num_items = 60;
+  config.num_sources = 10;
+  config.density = 0.5;
+  config.seed = 4;
+  const SyntheticDataset data = GenerateDense(config);
+  QbcStrategy strategy;
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.probability = 0.3;
+  FlakyOracle oracle(&inner, plan, /*seed=*/21);
+  SessionOptions options;
+  Rng rng(3);
+  FeedbackSession session(data.db, model_, &strategy, &oracle, data.truth,
+                          options, &rng);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace->skipped_items.size(), 0u);  // 30% faults must hit.
+  EXPECT_GT(trace->priors.size(), 0u);
+  // Every conflicting item ends up either validated or skipped, never lost.
+  std::set<ItemId> accounted(trace->skipped_items.begin(),
+                             trace->skipped_items.end());
+  for (ItemId i : trace->priors.Items()) {
+    EXPECT_TRUE(accounted.insert(i).second) << "item " << i << " twice";
+  }
+  for (ItemId i : data.db.ConflictingItems()) {
+    EXPECT_TRUE(accounted.count(i)) << "item " << i << " unaccounted";
+  }
+  // Per-step skip records agree with the trace-level list.
+  std::size_t step_skips = 0;
+  for (const SessionStep& step : trace->steps) step_skips += step.skipped.size();
+  EXPECT_EQ(step_skips, trace->skipped_items.size());
+}
+
+TEST_F(ResilientOracleTest, SessionWithRetriesRecordsRetryCounts) {
+  QbcStrategy strategy;
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.fail_first_n = 2;  // Cold outage: first item needs three attempts.
+  FlakyOracle flaky(&inner, plan);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingOracle oracle(&flaky, policy);
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->total_oracle_retries, 2u);
+  EXPECT_TRUE(trace->skipped_items.empty());  // Retries rescued every item.
+  EXPECT_EQ(trace->priors.size(), 5u);
+  EXPECT_EQ(trace->steps.front().oracle_retries, 2u);
+}
+
+TEST_F(ResilientOracleTest, SkipDisabledSurfacesTheTransientError) {
+  QbcStrategy strategy;
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.fail_first_n = 100;
+  FlakyOracle oracle(&inner, plan);
+  SessionOptions options;
+  options.skip_unanswerable = false;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ResilientOracleTest, HardOracleFailuresStillAbort) {
+  QbcStrategy strategy;
+  PerfectOracle inner;
+  FlakyOracle oracle(&inner, FaultPlan{});  // No faults injected.
+  GroundTruth empty(db_);                   // Unknown truth = hard error.
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, empty, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResilientOracleTest, FlakyStateRoundTripsThroughSerialization) {
+  FaultPlan plan;
+  plan.probability = 0.5;
+  PerfectOracle inner_a, inner_b;
+  FlakyOracle original(&inner_a, plan, /*seed=*/13);
+  const ItemId item = FirstConflicting();
+  for (int i = 0; i < 7; ++i) original.Answer(db_, item, truth_, &rng_);
+  FlakyOracle resumed(&inner_b, plan, /*seed=*/13);
+  ASSERT_TRUE(resumed.RestoreState(original.SerializeState()).ok());
+  EXPECT_EQ(resumed.num_calls(), original.num_calls());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(original.Answer(db_, item, truth_, &rng_).ok(),
+              resumed.Answer(db_, item, truth_, &rng_).ok())
+        << "call " << i;
+  }
+}
+
+}  // namespace
+}  // namespace veritas

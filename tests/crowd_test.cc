@@ -256,5 +256,39 @@ TEST(CrowdOracleTest, FullSessionWithCrowdFeedback) {
   EXPECT_LT(trace->steps.back().distance, trace->initial_distance);
 }
 
+TEST(WorkerPoolTest, InjectedNoShowsReduceTheAnswerSet) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  WorkerPool pool(SmallPool());
+  FaultInjector injector(6);
+  FaultPlan plan;
+  plan.probability = 1.0;  // Every sampled worker no-shows.
+  injector.SetPlan("worker", plan);
+  pool.set_fault_injector(&injector);
+  EXPECT_TRUE(pool.Ask(db, 0, truth).empty());
+  EXPECT_EQ(pool.num_no_shows(), 5u);
+  // Detaching restores full attendance.
+  pool.set_fault_injector(nullptr);
+  EXPECT_EQ(pool.Ask(db, 0, truth).size(), 5u);
+  EXPECT_EQ(pool.num_no_shows(), 5u);
+}
+
+TEST(WorkerPoolTest, NoShowsDoNotCountAsAnswers) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  WorkerPool pool(SmallPool());
+  FaultInjector injector(6);
+  FaultPlan plan;
+  plan.fail_first_n = 2;  // First two sampled workers are absent.
+  injector.SetPlan("worker", plan);
+  pool.set_fault_injector(&injector);
+  const auto answers = pool.Ask(db, 0, truth);
+  EXPECT_EQ(answers.size(), 3u);
+  EXPECT_EQ(pool.num_no_shows(), 2u);
+  std::size_t total_answers = 0;
+  for (std::size_t c : pool.answer_counts()) total_answers += c;
+  EXPECT_EQ(total_answers, 3u);  // Absent workers earn no credit.
+}
+
 }  // namespace
 }  // namespace veritas

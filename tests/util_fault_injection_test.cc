@@ -1,0 +1,186 @@
+// Tests of the deterministic fault injector — the foundation every
+// robustness scenario in the suite is built on, so determinism here is
+// load-bearing for all degraded-mode tests.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace veritas {
+namespace {
+
+TEST(FaultInjectorTest, UnknownSiteNeverFaults) {
+  FaultInjector injector(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.Next("nowhere").kind, FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.calls("nowhere"), 0u);
+}
+
+TEST(FaultInjectorTest, FailFirstNThenRecovers) {
+  FaultInjector injector(1);
+  FaultPlan plan;
+  plan.fail_first_n = 3;
+  injector.SetPlan("oracle", plan);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(injector.Next("oracle").kind, FaultKind::kUnavailable);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.Next("oracle").kind, FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.calls("oracle"), 13u);
+  EXPECT_EQ(injector.faults("oracle"), 3u);
+}
+
+TEST(FaultInjectorTest, FailEveryKthCall) {
+  FaultInjector injector(1);
+  FaultPlan plan;
+  plan.fail_every_k = 5;
+  plan.kind = FaultKind::kTimeout;
+  injector.SetPlan("oracle", plan);
+  for (int call = 1; call <= 20; ++call) {
+    const FaultOutcome outcome = injector.Next("oracle");
+    if (call % 5 == 0) {
+      EXPECT_EQ(outcome.kind, FaultKind::kTimeout) << "call " << call;
+    } else {
+      EXPECT_EQ(outcome.kind, FaultKind::kNone) << "call " << call;
+    }
+  }
+  EXPECT_EQ(injector.faults("oracle"), 4u);
+}
+
+TEST(FaultInjectorTest, ProbabilityPlanTriggersAtApproximateRate) {
+  FaultInjector injector(42);
+  FaultPlan plan;
+  plan.probability = 0.3;
+  injector.SetPlan("oracle", plan);
+  const int n = 2000;
+  int faults = 0;
+  for (int i = 0; i < n; ++i) {
+    if (injector.Next("oracle").kind != FaultKind::kNone) ++faults;
+  }
+  EXPECT_GT(faults, n * 0.25);
+  EXPECT_LT(faults, n * 0.35);
+}
+
+TEST(FaultInjectorTest, DeterministicUnderSameSeed) {
+  FaultPlan plan;
+  plan.probability = 0.5;
+  FaultInjector a(7), b(7);
+  a.SetPlan("oracle", plan);
+  b.SetPlan("oracle", plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Next("oracle").kind, b.Next("oracle").kind) << "call " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SitesHaveIndependentStreams) {
+  FaultPlan plan;
+  plan.probability = 0.5;
+  // Same plans registered in different orders must not change either
+  // site's stream (per-site seeds derive from the site name, not order).
+  FaultInjector a(7), b(7);
+  a.SetPlan("x", plan);
+  a.SetPlan("y", plan);
+  b.SetPlan("y", plan);
+  b.SetPlan("x", plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next("x").kind, b.Next("x").kind);
+    EXPECT_EQ(a.Next("y").kind, b.Next("y").kind);
+  }
+}
+
+TEST(FaultInjectorTest, LatencySpikesCanBeSlowSuccesses) {
+  FaultInjector injector(1);
+  FaultPlan plan;
+  plan.kind = FaultKind::kNone;  // Pure latency spike.
+  plan.probability = 1.0;
+  plan.latency_seconds = 0.25;
+  injector.SetPlan("oracle", plan);
+  const FaultOutcome outcome = injector.Next("oracle");
+  EXPECT_EQ(outcome.kind, FaultKind::kNone);
+  EXPECT_DOUBLE_EQ(outcome.latency_seconds, 0.25);
+  EXPECT_EQ(injector.faults("oracle"), 0u);  // A spike is not a fault.
+}
+
+TEST(FaultInjectorTest, ResetRewindsCountersAndStreams) {
+  FaultPlan plan;
+  plan.probability = 0.5;
+  FaultInjector injector(3);
+  injector.SetPlan("oracle", plan);
+  std::vector<FaultKind> first;
+  for (int i = 0; i < 50; ++i) first.push_back(injector.Next("oracle").kind);
+  injector.Reset();
+  EXPECT_EQ(injector.calls("oracle"), 0u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.Next("oracle").kind, first[i]) << "call " << i;
+  }
+}
+
+TEST(FaultInjectorTest, SerializeRestoreContinuesTheExactStream) {
+  FaultPlan plan;
+  plan.probability = 0.4;
+  plan.fail_every_k = 7;
+  FaultInjector original(11);
+  original.SetPlan("oracle", plan);
+  for (int i = 0; i < 13; ++i) original.Next("oracle");
+  const std::string state = original.SerializeState();
+
+  FaultInjector resumed(11);
+  resumed.SetPlan("oracle", plan);
+  ASSERT_TRUE(resumed.RestoreState(state).ok());
+  EXPECT_EQ(resumed.calls("oracle"), 13u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(resumed.Next("oracle").kind, original.Next("oracle").kind)
+        << "call " << i;
+  }
+}
+
+TEST(FaultInjectorTest, RestoreRejectsUnknownSitesAndGarbage) {
+  FaultInjector injector(1);
+  injector.SetPlan("oracle", FaultPlan{});
+  EXPECT_EQ(injector.RestoreState("garbage").code(),
+            StatusCode::kInvalidArgument);
+  FaultInjector other(1);
+  other.SetPlan("elsewhere", FaultPlan{});
+  EXPECT_EQ(other.RestoreState(injector.SerializeState()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultPlanParseTest, BareNumberIsProbability) {
+  const auto plan = ParseFaultPlan("0.3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->probability, 0.3);
+  EXPECT_EQ(plan->kind, FaultKind::kUnavailable);
+}
+
+TEST(FaultPlanParseTest, KeyValueSpec) {
+  const auto plan =
+      ParseFaultPlan("prob=0.2,kind=timeout,latency=0.05,first=2,every=9");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->probability, 0.2);
+  EXPECT_EQ(plan->kind, FaultKind::kTimeout);
+  EXPECT_DOUBLE_EQ(plan->latency_seconds, 0.05);
+  EXPECT_EQ(plan->fail_first_n, 2u);
+  EXPECT_EQ(plan->fail_every_k, 9u);
+}
+
+TEST(FaultPlanParseTest, RejectsBadSpecs) {
+  EXPECT_FALSE(ParseFaultPlan("").ok());
+  EXPECT_FALSE(ParseFaultPlan("prob=abc").ok());
+  EXPECT_FALSE(ParseFaultPlan("prob=1.5").ok());
+  EXPECT_FALSE(ParseFaultPlan("kind=meltdown").ok());
+  EXPECT_FALSE(ParseFaultPlan("volume=11").ok());
+  EXPECT_FALSE(ParseFaultPlan("latency=-1").ok());
+}
+
+TEST(FaultPlanParseTest, KindNamesRoundTrip) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNone), "none");
+  EXPECT_STREQ(FaultKindName(FaultKind::kUnavailable), "unavailable");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTimeout), "timeout");
+  EXPECT_STREQ(FaultKindName(FaultKind::kAbstain), "abstain");
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,163 @@
+// Tests of the retry policy: backoff schedule, deadline expiry,
+// success-after-N, and fail-fast on non-retryable codes.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace veritas {
+namespace {
+
+// A callable that fails `failures` times with `code` before succeeding.
+struct FlakyFn {
+  std::size_t failures = 0;
+  StatusCode code = StatusCode::kUnavailable;
+  std::size_t calls = 0;
+
+  Result<int> operator()() {
+    ++calls;
+    if (calls <= failures) {
+      return Status(code, "transient #" + std::to_string(calls));
+    }
+    return 17;
+  }
+};
+
+TEST(RetryCallTest, FirstTrySuccessMakesOneAttempt) {
+  RetryPolicy policy;
+  RetryStats stats;
+  FlakyFn fn;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 17);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_seconds, 0.0);
+  EXPECT_FALSE(stats.deadline_expired);
+}
+
+TEST(RetryCallTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 2;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 17);
+  EXPECT_EQ(stats.attempts, 3u);
+  // Backoffs before retries 1 and 2: 0.1 + 0.2.
+  EXPECT_DOUBLE_EQ(stats.total_backoff_seconds, 0.1 + 0.2);
+  EXPECT_EQ(stats.last_error.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryCallTest, ExhaustionReturnsLastTransientError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 10;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("#3"), std::string::npos);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_FALSE(stats.deadline_expired);
+}
+
+TEST(RetryCallTest, NonRetryableFailsFast) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 10;
+  fn.code = StatusCode::kInvalidArgument;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(RetryCallTest, AbstainedIsNotRetriedByDefault) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 10;
+  fn.code = StatusCode::kAbstained;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAbstained);
+  EXPECT_EQ(stats.attempts, 1u);  // Re-asking will not change a refusal.
+}
+
+TEST(RetryCallTest, DeadlineStopsTheLoop) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.deadline_seconds = 2.5;  // 1.0 fits; 1.0 + 2.0 would not.
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 100;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(stats.deadline_expired);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_seconds, 1.0);
+  EXPECT_EQ(stats.last_error.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryCallTest, ZeroMaxAttemptsStillTriesOnce) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  RetryStats stats;
+  FlakyFn fn;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4, nullptr), 5.0);  // Capped.
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(5, nullptr), 5.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 0.25;
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const double backoff = policy.BackoffSeconds(1, &rng);
+    EXPECT_GE(backoff, 0.75);
+    EXPECT_LE(backoff, 1.25);
+  }
+}
+
+TEST(RetryPolicyTest, RetryableCodesAreConfigurable) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(policy.IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(policy.IsRetryable(StatusCode::kAbstained));
+  EXPECT_FALSE(policy.IsRetryable(StatusCode::kInternal));
+  policy.retryable_codes = {StatusCode::kInternal};
+  EXPECT_TRUE(policy.IsRetryable(StatusCode::kInternal));
+  EXPECT_FALSE(policy.IsRetryable(StatusCode::kUnavailable));
+}
+
+}  // namespace
+}  // namespace veritas

@@ -20,6 +20,7 @@
 
 #include "core/metrics.h"
 #include "core/oracle.h"
+#include "core/resilient_oracle.h"
 #include "core/session.h"
 #include "core/strategy_factory.h"
 #include "data/canonicalize.h"
@@ -48,6 +49,9 @@ void PrintUsage() {
       "  session      --data obs.csv --truth truth.csv\n"
       "               [--strategy approx_meu] [--budget 20]\n"
       "               [--oracle perfect] [--batch 1] [--seed 42]\n"
+      "               [--flaky <p|plan>] [--retries 3]\n"
+      "               [--checkpoint ckpt] [--checkpoint-every 1]\n"
+      "               [--resume ckpt]\n"
       "  generate     [--shape dense|longtail] [--items 500] [--sources 38]\n"
       "               [--density 0.4] [--copiers 0] [--seed 42]\n"
       "               --out obs.csv [--truth-out truth.csv]\n"
@@ -184,12 +188,40 @@ Status RunSession(const ArgMap& args) {
   VERITAS_ASSIGN_OR_RETURN(long batch, args.GetInt("batch", 1));
   VERITAS_ASSIGN_OR_RETURN(long seed, args.GetInt("seed", 42));
 
+  // Optional resilience decorators: --flaky injects deterministic oracle
+  // faults (testing degraded mode), --retries wraps the chain in a
+  // RetryPolicy so transient faults are retried before the session skips.
+  FeedbackOracle* oracle_ptr = oracle.get();
+  std::unique_ptr<FlakyOracle> flaky;
+  if (args.Has("flaky")) {
+    VERITAS_ASSIGN_OR_RETURN(FaultPlan plan,
+                             ParseFaultPlan(args.GetString("flaky")));
+    flaky = std::make_unique<FlakyOracle>(
+        oracle_ptr, plan, static_cast<std::uint64_t>(seed));
+    oracle_ptr = flaky.get();
+  }
+  std::unique_ptr<RetryingOracle> retrying;
+  VERITAS_ASSIGN_OR_RETURN(long retries, args.GetInt("retries", 0));
+  if (retries > 0) {
+    RetryPolicy policy;
+    policy.max_attempts = static_cast<std::size_t>(retries) + 1;
+    retrying = std::make_unique<RetryingOracle>(oracle_ptr, policy);
+    oracle_ptr = retrying.get();
+  }
+
   AccuFusion model;
   SessionOptions options;
   options.max_validations = static_cast<std::size_t>(budget);
   options.batch_size = static_cast<std::size_t>(batch);
+  options.checkpoint_path = args.GetString("checkpoint");
+  options.resume_path = args.GetString("resume");
+  VERITAS_ASSIGN_OR_RETURN(long every, args.GetInt("checkpoint-every", 1));
+  if (every < 1) {
+    return Status::InvalidArgument("--checkpoint-every must be >= 1");
+  }
+  options.checkpoint_every_rounds = static_cast<std::size_t>(every);
   Rng rng(static_cast<std::uint64_t>(seed));
-  FeedbackSession session(db, model, strategy.get(), oracle.get(), truth,
+  FeedbackSession session(db, model, strategy.get(), oracle_ptr, truth,
                           options, &rng);
   VERITAS_ASSIGN_OR_RETURN(SessionTrace trace, session.Run());
 
@@ -217,6 +249,17 @@ Status RunSession(const ArgMap& args) {
     std::cout << "final distance reduction: "
               << Pct(trace.DistanceReductionPercent(trace.steps.size() - 1))
               << "\n";
+  }
+  if (!trace.skipped_items.empty() || trace.total_oracle_retries > 0 ||
+      trace.fusion_nonconverged_rounds > 0 ||
+      trace.fusion_fallback_rounds > 0) {
+    std::cout << "resilience: skipped=" << trace.skipped_items.size()
+              << " retries=" << trace.total_oracle_retries
+              << " nonconverged_rounds=" << trace.fusion_nonconverged_rounds
+              << " fusion_fallbacks=" << trace.fusion_fallback_rounds << "\n";
+  }
+  if (!options.checkpoint_path.empty()) {
+    std::cout << "checkpoint written to " << options.checkpoint_path << "\n";
   }
   return Status::OK();
 }
