@@ -10,32 +10,131 @@
 // Shape to reproduce: QBC/US orders of magnitude faster than the
 // decision-theoretic methods; Approx-MEU roughly two orders of magnitude
 // faster than MEU. Absolute numbers differ (C++ vs Java, scaled datasets).
+#include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/oracle.h"
 #include "core/session.h"
 #include "core/strategy_factory.h"
+#include "exp/bench_json.h"
 #include "exp/report.h"
 #include "exp/scale.h"
 #include "fusion/accu.h"
+#include "fusion/delta_fusion.h"
+#include "util/math.h"
+#include "util/timer.h"
 
 using namespace veritas;
 
 namespace {
 
+// The warm-start full-re-fusion path exactly as it existed before the
+// incremental engine and the CompiledDatabase CSR views landed: Eq. (1)
+// evaluated by pointer-chasing the nested Item/Claim/Source adjacency with a
+// std::log per (claim, source) pair per iteration. Kept verbatim as the
+// reference baseline the BENCH_fusion.json speedups are measured against.
+class ReferenceAccuFusion : public FusionModel {
+ public:
+  std::string name() const override { return "accu_reference"; }
+
+  FusionResult Fuse(const Database& db, const PriorSet& priors,
+                    const FusionOptions& opts) const override {
+    return Fuse(db, priors, opts, nullptr);
+  }
+
+  FusionResult Fuse(const Database& db, const PriorSet& priors,
+                    const FusionOptions& opts,
+                    const FusionResult* warm) const override {
+    FusionResult result(db, opts.initial_accuracy);
+    std::vector<double> accuracies =
+        warm != nullptr ? warm->accuracies()
+                        : std::vector<double>(db.num_sources(),
+                                              opts.initial_accuracy);
+    for (double& a : accuracies) a = ClampAccuracy(a);
+    bool converged = false;
+    std::size_t iter = 0;
+    while (iter < opts.max_iterations) {
+      ++iter;
+      UpdateProbabilities(db, priors, accuracies, &result);
+      const double delta = UpdateAccuracies(db, result, &accuracies);
+      if (delta < opts.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+    UpdateProbabilities(db, priors, accuracies, &result);
+    *result.mutable_accuracies() = std::move(accuracies);
+    result.set_iterations(iter);
+    result.set_converged(converged);
+    return result;
+  }
+
+ private:
+  static std::vector<double> ClaimProbabilities(
+      const Database& db, ItemId item, const std::vector<double>& accuracies) {
+    const Item& o = db.item(item);
+    const double false_values = static_cast<double>(o.claims.size()) - 1.0;
+    std::vector<double> scores(o.claims.size(), 0.0);
+    for (ClaimIndex k = 0; k < o.claims.size(); ++k) {
+      double score = 0.0;
+      for (SourceId s : o.claims[k].sources) {
+        const double a = ClampAccuracy(accuracies[s]);
+        score += std::log(false_values * a / (1.0 - a));
+      }
+      scores[k] = score;
+    }
+    return SoftmaxFromLogScores(scores);
+  }
+
+  static void UpdateProbabilities(const Database& db, const PriorSet& priors,
+                                  const std::vector<double>& accuracies,
+                                  FusionResult* result) {
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+      std::vector<double>* probs = result->mutable_item_probs(i);
+      if (priors.Has(i)) {
+        *probs = priors.Get(i);
+        continue;
+      }
+      if (db.num_claims(i) == 1) {
+        (*probs)[0] = 1.0;
+        continue;
+      }
+      *probs = ClaimProbabilities(db, i, accuracies);
+    }
+  }
+
+  static double UpdateAccuracies(const Database& db, const FusionResult& result,
+                                 std::vector<double>* accuracies) {
+    double max_delta = 0.0;
+    for (SourceId j = 0; j < db.num_sources(); ++j) {
+      const Source& s = db.source(j);
+      if (s.votes.empty()) continue;
+      double sum = 0.0;
+      for (const Vote& v : s.votes) sum += result.prob(v.item, v.claim);
+      const double updated =
+          ClampAccuracy(sum / static_cast<double>(s.votes.size()));
+      max_delta = std::max(max_delta, std::fabs(updated - (*accuracies)[j]));
+      (*accuracies)[j] = updated;
+    }
+    return max_delta;
+  }
+};
+
 // Mean select-time over a few validations (metrics recording off so only
-// strategy time is measured).
-double MeanSelectSeconds(const NamedDataset& dataset,
-                         const std::string& strategy_name,
-                         std::size_t actions) {
-  AccuFusion model;
+// strategy time is measured). `use_delta` toggles the incremental engine
+// for the MEU lookaheads and post-feedback re-fusions.
+double MeanSelectSeconds(const NamedDataset& dataset, const FusionModel& model,
+                         const std::string& strategy_name, std::size_t actions,
+                         bool use_delta) {
   auto strategy = MakeStrategy(strategy_name);
   if (!strategy.ok()) return -1.0;
   PerfectOracle oracle;
   SessionOptions options;
   options.max_validations = actions;
   options.record_metrics = false;
+  options.fusion.use_delta_fusion = use_delta;
   Rng rng(7);
   FeedbackSession session(dataset.data.db, model, strategy->get(), &oracle,
                           dataset.data.truth, options, &rng);
@@ -44,10 +143,135 @@ double MeanSelectSeconds(const NamedDataset& dataset,
   return trace->MeanSelectSeconds();
 }
 
+double MeanSelectSeconds(const NamedDataset& dataset,
+                         const std::string& strategy_name,
+                         std::size_t actions, bool use_delta = true) {
+  AccuFusion model;
+  return MeanSelectSeconds(dataset, model, strategy_name, actions, use_delta);
+}
+
+template <typename Fn>
+double SecondsPerOp(Fn&& fn, std::size_t min_reps = 3,
+                    double min_seconds = 0.2) {
+  Timer timer;
+  std::size_t reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || timer.ElapsedSeconds() < min_seconds);
+  return timer.ElapsedSeconds() / static_cast<double>(reps);
+}
+
+// Largest |p_delta - p_full| over all claims between a delta re-fusion and
+// the warm full re-fusion it replaces (both after the same pin).
+double MaxProbDiff(const Database& db, const FusionResult& a,
+                   const FusionResult& b) {
+  double max_diff = 0.0;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    for (ClaimIndex k = 0; k < db.num_claims(i); ++k) {
+      max_diff = std::max(max_diff, std::fabs(a.prob(i, k) - b.prob(i, k)));
+    }
+  }
+  return max_diff;
+}
+
+// Machine-readable baseline: per-dataset fusion timings (reference vs full
+// vs warm vs delta), exact-MEU step latency on the pre-optimization
+// reference path, on the current full path, and with the delta engine, the
+// speedups, and the probability agreement between the paths. "baseline"
+// fields always mean the ReferenceAccuFusion pointer-chasing path that the
+// CompiledDatabase + DeltaFusion work replaced.
+int WriteBenchJson(const std::string& path, ScaleMode mode) {
+  BenchJsonFile json("veritas-bench-fusion-v1");
+  json.SetMeta("scale", ScaleModeName(mode));
+  json.SetMeta("workload", "table 11 (MEU datasets)");
+  json.SetMeta("baseline", "pre-CSR warm-start full re-fusion (accu_reference)");
+
+  double total_baseline_s = 0.0;
+  double total_full_s = 0.0;
+  double total_delta_s = 0.0;
+  for (const NamedDataset& dataset :
+       {MakeBooksLike(mode), MakeFlightsDayLike(mode),
+        MakePopulationLike(mode)}) {
+    const Database& db = dataset.data.db;
+    AccuFusion model;
+    ReferenceAccuFusion reference;
+    FusionOptions opts;
+    const FusionResult base = model.Fuse(db, PriorSet(), opts);
+    const auto engine = DeltaFusionEngine::Create(db, model, opts);
+    const ItemId pin = db.ConflictingItems().front();
+    PriorSet priors;
+    priors.SetExact(db, pin, 0);
+
+    const double baseline_s =
+        SecondsPerOp([&] { reference.Fuse(db, priors, opts, &base); });
+    const double full_s =
+        SecondsPerOp([&] { model.Fuse(db, priors, opts); });
+    const double warm_s =
+        SecondsPerOp([&] { model.Fuse(db, priors, opts, &base); });
+    const double delta_s =
+        SecondsPerOp([&] { engine->FuseWithPins(base, priors, {pin}); });
+    const double prob_diff =
+        MaxProbDiff(db, engine->FuseWithPins(base, priors, {pin}),
+                    model.Fuse(db, priors, opts, &base));
+    const double prob_diff_vs_baseline =
+        MaxProbDiff(db, engine->FuseWithPins(base, priors, {pin}),
+                    reference.Fuse(db, priors, opts, &base));
+
+    const std::size_t actions = 3;
+    const double meu_baseline_s = MeanSelectSeconds(
+        dataset, reference, "meu", actions, /*use_delta=*/false);
+    const double meu_full_s =
+        MeanSelectSeconds(dataset, "meu", actions, /*use_delta=*/false);
+    const double meu_delta_s =
+        MeanSelectSeconds(dataset, "meu", actions, /*use_delta=*/true);
+    total_baseline_s += meu_baseline_s;
+    total_full_s += meu_full_s;
+    total_delta_s += meu_delta_s;
+
+    json.Add("table11_meu")
+        .Set("dataset", dataset.name)
+        .Set("items", db.num_items())
+        .Set("sources", db.num_sources())
+        .Set("observations", db.num_observations())
+        .Set("fusion_baseline_warm_ns_per_op", baseline_s * 1e9)
+        .Set("fusion_full_ns_per_op", full_s * 1e9)
+        .Set("fusion_warm_ns_per_op", warm_s * 1e9)
+        .Set("fusion_delta_ns_per_op", delta_s * 1e9)
+        .Set("max_abs_prob_diff", prob_diff)
+        .Set("max_abs_prob_diff_vs_baseline", prob_diff_vs_baseline)
+        .Set("fusion_tolerance", opts.tolerance)
+        .Set("meu_step_baseline_seconds", meu_baseline_s)
+        .Set("meu_step_full_seconds", meu_full_s)
+        .Set("meu_step_delta_seconds", meu_delta_s)
+        .Set("meu_step_speedup_vs_baseline", meu_baseline_s / meu_delta_s)
+        .Set("meu_step_speedup_vs_full", meu_full_s / meu_delta_s);
+  }
+  json.Add("meu_speedup")
+      .Set("total_baseline_seconds", total_baseline_s)
+      .Set("total_full_seconds", total_full_s)
+      .Set("total_delta_seconds", total_delta_s)
+      .Set("speedup_vs_baseline", total_baseline_s / total_delta_s)
+      .Set("speedup_vs_full", total_full_s / total_delta_s);
+
+  const Status status = json.Write(path);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote fusion baseline to " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const ScaleMode mode = GetScaleMode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      return WriteBenchJson(argv[i + 1], mode);
+    }
+  }
   PrintBanner(std::cout,
               "Table 11: seconds to determine the next action (scale=" +
                   ScaleModeName(mode) + ")");

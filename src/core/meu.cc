@@ -2,12 +2,18 @@
 
 #include <atomic>
 #include <cassert>
+#include <optional>
 #include <thread>
 
 namespace veritas {
 
 double MeuStrategy::ExpectedEntropyAfterValidation(const StrategyContext& ctx,
                                                    ItemId item) {
+  if (ctx.delta != nullptr && ctx.warm_start_lookahead) {
+    const DeltaFusionEngine::BaseState base = ctx.delta->PrepareBase(*ctx.fusion);
+    DeltaFusionEngine::Workspace ws;
+    return ExpectedEntropyAfterValidation(ctx, item, base, ws);
+  }
   const Database& db = *ctx.db;
   double expected = 0.0;
   for (ClaimIndex k = 0; k < db.num_claims(item); ++k) {
@@ -23,6 +29,31 @@ double MeuStrategy::ExpectedEntropyAfterValidation(const StrategyContext& ctx,
   return expected;
 }
 
+double MeuStrategy::ExpectedEntropyAfterValidation(
+    const StrategyContext& ctx, ItemId item,
+    const DeltaFusionEngine::BaseState& base,
+    DeltaFusionEngine::Workspace& ws) {
+  const Database& db = *ctx.db;
+  // A hypothesis this unlikely moves the pk-weighted expectation by less
+  // than pk * |H_pinned| <~ 1e-9 nats — orders of magnitude below the
+  // fusion tolerance, so the closed-form "pin without propagation" value
+  // (pinned item drops to zero entropy, everything else keeps its base
+  // value) stands in for the full lookahead.
+  constexpr double kNegligiblePinMass = 1e-12;
+  double expected = 0.0;
+  for (ClaimIndex k = 0; k < db.num_claims(item); ++k) {
+    const double pk = ctx.fusion->prob(item, k);
+    if (pk <= 0.0) continue;
+    if (pk < kNegligiblePinMass) {
+      expected += pk * (base.total_entropy - base.item_entropy[item]);
+      continue;
+    }
+    expected +=
+        pk * ctx.delta->EntropyAfterExactPin(base, ws, *ctx.priors, item, k);
+  }
+  return expected;
+}
+
 std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
                                              std::size_t batch) {
   assert(ctx.model != nullptr && ctx.fusion_opts != nullptr &&
@@ -30,12 +61,24 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
   const std::vector<ItemId> candidates = CandidateItems(ctx);
   const double current_entropy = ctx.fusion->TotalEntropy();
   std::vector<double> gains(candidates.size(), 0.0);
+
+  // One flattened base state serves the whole candidate scan; each worker
+  // pins into its own O(frontier) workspace.
+  const bool use_delta = ctx.delta != nullptr && ctx.warm_start_lookahead;
+  std::optional<DeltaFusionEngine::BaseState> base;
+  if (use_delta) base.emplace(ctx.delta->PrepareBase(*ctx.fusion));
+  const auto expected_entropy = [&](ItemId item,
+                                    DeltaFusionEngine::Workspace& ws) {
+    return use_delta ? ExpectedEntropyAfterValidation(ctx, item, *base, ws)
+                     : ExpectedEntropyAfterValidation(ctx, item);
+  };
+
   const std::size_t workers = std::min(num_threads_, candidates.size());
   if (workers <= 1) {
+    DeltaFusionEngine::Workspace ws;
     for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
       // Delta EU_i of Eq. (7): current entropy minus expected entropy.
-      gains[idx] = current_entropy -
-                   ExpectedEntropyAfterValidation(ctx, candidates[idx]);
+      gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
     }
   } else {
     // Each candidate's lookahead is independent; work-steal over an atomic
@@ -43,11 +86,11 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
     // slots, so the result is identical to the sequential run.
     std::atomic<std::size_t> next{0};
     auto work = [&]() {
+      DeltaFusionEngine::Workspace ws;
       while (true) {
         const std::size_t idx = next.fetch_add(1);
         if (idx >= candidates.size()) break;
-        gains[idx] = current_entropy -
-                     ExpectedEntropyAfterValidation(ctx, candidates[idx]);
+        gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
       }
     };
     std::vector<std::thread> pool;

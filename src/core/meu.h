@@ -7,12 +7,15 @@
 // the item maximizing the expected entropy reduction (Eq. 7) is selected.
 //
 // Cost: O(m * kappa) re-fusions per action — exact but expensive; re-fusions
-// are warm-started from the current accuracies to cut iterations.
-// Requires ctx.model and ctx.fusion_opts.
+// are warm-started from the current accuracies to cut iterations, and when
+// ctx.delta is set each hypothetical pin is propagated incrementally over a
+// dirty frontier (fusion/delta_fusion.h) instead of re-fusing the whole
+// database. Requires ctx.model and ctx.fusion_opts.
 #ifndef VERITAS_CORE_MEU_H_
 #define VERITAS_CORE_MEU_H_
 
 #include "core/strategy.h"
+#include "fusion/delta_fusion.h"
 
 namespace veritas {
 
@@ -21,9 +24,7 @@ class MeuStrategy : public Strategy {
  public:
   /// `num_threads` > 1 scores candidates concurrently (the lookahead
   /// re-fusions are independent). Results are bit-identical to the
-  /// sequential run. Only use with thread-safe fusion models — all built-in
-  /// models qualify except AccuCopyFusion, whose dependence-matrix cache is
-  /// mutated during Fuse.
+  /// sequential run. All built-in fusion models are thread-safe.
   explicit MeuStrategy(std::size_t num_threads = 1)
       : num_threads_(num_threads == 0 ? 1 : num_threads) {}
 
@@ -39,6 +40,14 @@ class MeuStrategy : public Strategy {
   /// Exposed for the worked-example tests and diagnostics.
   static double ExpectedEntropyAfterValidation(const StrategyContext& ctx,
                                                ItemId item);
+
+  /// Delta-fusion fast path: same quantity, computed by propagating each
+  /// hypothetical pin from `base` (prepared from ctx.fusion) with reusable
+  /// scratch `ws`. Precondition: ctx.delta != nullptr. Candidate scans call
+  /// this with one shared base and a per-worker workspace.
+  static double ExpectedEntropyAfterValidation(
+      const StrategyContext& ctx, ItemId item,
+      const DeltaFusionEngine::BaseState& base, DeltaFusionEngine::Workspace& ws);
 
  private:
   std::size_t num_threads_;

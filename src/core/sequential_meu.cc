@@ -30,6 +30,15 @@ double BestFollowUpEntropy(const StrategyContext& outer, const PriorSet& priors,
       TopKByScore(candidates, entropies, inner_beam);
 
   double best = fusion.TotalEntropy();  // "Do nothing" upper bound.
+  if (ctx.delta != nullptr && ctx.warm_start_lookahead) {
+    const DeltaFusionEngine::BaseState base = ctx.delta->PrepareBase(fusion);
+    DeltaFusionEngine::Workspace ws;
+    for (ItemId j : beam) {
+      best = std::min(
+          best, MeuStrategy::ExpectedEntropyAfterValidation(ctx, j, base, ws));
+    }
+    return best;
+  }
   for (ItemId j : beam) {
     const double expected =
         MeuStrategy::ExpectedEntropyAfterValidation(ctx, j);
@@ -51,9 +60,11 @@ double SequentialMeuStrategy::TwoStepExpectedEntropy(
     if (pk <= 0.0) continue;
     PriorSet lookahead = *ctx.priors;
     lookahead.SetExact(db, item, k);
-    const FusionResult state = ctx.model->Fuse(
-        db, lookahead, *ctx.fusion_opts,
-        ctx.warm_start_lookahead ? ctx.fusion : nullptr);
+    const FusionResult state =
+        ctx.delta != nullptr && ctx.warm_start_lookahead
+            ? ctx.delta->FuseWithPins(*ctx.fusion, lookahead, {item})
+            : ctx.model->Fuse(db, lookahead, *ctx.fusion_opts,
+                              ctx.warm_start_lookahead ? ctx.fusion : nullptr);
     expected += pk * BestFollowUpEntropy(ctx, lookahead, state, inner_beam);
   }
   return expected;
@@ -65,12 +76,24 @@ std::vector<ItemId> SequentialMeuStrategy::SelectBatch(
   if (candidates.empty()) return {};
   const double current_entropy = ctx.fusion->TotalEntropy();
 
-  // Depth-1 preselection by myopic gain.
+  // Depth-1 preselection by myopic gain (one shared base for the scan).
   std::vector<double> myopic_gains;
   myopic_gains.reserve(candidates.size());
-  for (ItemId i : candidates) {
-    myopic_gains.push_back(
-        current_entropy - MeuStrategy::ExpectedEntropyAfterValidation(ctx, i));
+  if (ctx.delta != nullptr && ctx.warm_start_lookahead) {
+    const DeltaFusionEngine::BaseState base =
+        ctx.delta->PrepareBase(*ctx.fusion);
+    DeltaFusionEngine::Workspace ws;
+    for (ItemId i : candidates) {
+      myopic_gains.push_back(
+          current_entropy -
+          MeuStrategy::ExpectedEntropyAfterValidation(ctx, i, base, ws));
+    }
+  } else {
+    for (ItemId i : candidates) {
+      myopic_gains.push_back(
+          current_entropy -
+          MeuStrategy::ExpectedEntropyAfterValidation(ctx, i));
+    }
   }
   const std::vector<ItemId> beam =
       TopKByScore(candidates, myopic_gains, options_.beam_width);

@@ -1,12 +1,14 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
 #include "core/metrics.h"
 #include "core/session_checkpoint.h"
+#include "fusion/delta_fusion.h"
 #include "util/timer.h"
 
 namespace veritas {
@@ -79,6 +81,20 @@ Result<SessionTrace> FeedbackSession::Run() {
   SessionTrace trace;
   strategy_->Reset();
   const ItemGraph graph(db_);
+
+  // Incremental re-fusion engine, shared by the strategy lookaheads and the
+  // post-feedback re-fuse. Null when the model has no local-update structure
+  // (AccuCopy, LCA, ...) or when delta fusion is disabled; cold-started
+  // sessions also stay on the full path (the base state the engine
+  // propagates from must be the converged warm state).
+  const std::unique_ptr<DeltaFusionEngine> delta =
+      options_.warm_start && options_.fusion.use_delta_fusion
+          ? DeltaFusionEngine::Create(db_, model_, options_.fusion)
+          : nullptr;
+  // FuseWithPins requires the base to reflect every prior except the new
+  // pins. A warm-start rollback (non-finite or rejected re-fusion) breaks
+  // that invariant until a full re-fusion lands again.
+  bool delta_base_valid = true;
 
   std::unordered_set<ItemId> skipped_set;
   std::size_t validated = 0;
@@ -156,6 +172,7 @@ Result<SessionTrace> FeedbackSession::Run() {
     ctx.excluded = &skipped_set;
     ctx.include_singletons = options_.include_singletons;
     ctx.warm_start_lookahead = options_.warm_start;
+    ctx.delta = delta_base_valid ? delta.get() : nullptr;
 
     const std::size_t want = std::min(
         options_.batch_size, options_.max_validations - validated);
@@ -193,7 +210,9 @@ Result<SessionTrace> FeedbackSession::Run() {
     if (!step.items.empty()) {
       Timer fuse_timer;
       FusionResult next =
-          options_.warm_start
+          delta != nullptr && delta_base_valid
+              ? delta->FuseWithPins(fusion, trace.priors, step.items)
+          : options_.warm_start
               ? model_.Fuse(db_, trace.priors, options_.fusion, &fusion)
               : model_.Fuse(db_, trace.priors, options_.fusion);
       step.fuse_seconds = fuse_timer.ElapsedSeconds();
@@ -205,8 +224,10 @@ Result<SessionTrace> FeedbackSession::Run() {
         // Warm-start rollback: keep the last-good fusion instead of
         // propagating a poisoned or partial result into strategy scores.
         ++trace.fusion_fallback_rounds;
+        delta_base_valid = false;
       } else {
         fusion = std::move(next);
+        delta_base_valid = true;
       }
     }
 

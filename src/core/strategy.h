@@ -19,6 +19,8 @@
 
 namespace veritas {
 
+class DeltaFusionEngine;
+
 /// Everything a strategy may consult when choosing the next action.
 /// Pointers that a given strategy does not need may be null (see each
 /// strategy's documentation); `db`, `fusion` and `priors` are always set.
@@ -42,6 +44,11 @@ struct StrategyContext {
   /// current accuracies instead of the initial ones — much faster, same
   /// fixed point. The paper's worked example (Tables 4-6) cold-starts.
   bool warm_start_lookahead = true;
+  /// Incremental re-fusion engine for `model` over `db`, or null. When set
+  /// (and warm_start_lookahead is true), MEU-family strategies propagate each
+  /// hypothetical pin over a dirty frontier instead of re-fusing the whole
+  /// database. The session owns the engine and keeps it in sync with `db`.
+  const DeltaFusionEngine* delta = nullptr;
 };
 
 /// Abstract feedback-ordering strategy.

@@ -14,7 +14,8 @@
 
 namespace veritas {
 
-Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name) {
+Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name,
+                                               std::size_t num_threads) {
   if (name == "random") {
     return std::unique_ptr<Strategy>(new RandomStrategy());
   }
@@ -25,7 +26,7 @@ Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name) {
     return std::unique_ptr<Strategy>(new UsStrategy());
   }
   if (name == "meu") {
-    return std::unique_ptr<Strategy>(new MeuStrategy());
+    return std::unique_ptr<Strategy>(new MeuStrategy(num_threads));
   }
   if (name == "approx_meu") {
     return std::unique_ptr<Strategy>(new ApproxMeuStrategy());

@@ -13,8 +13,11 @@ namespace veritas {
 
 /// Creates a strategy from its name: "random", "qbc", "us", "meu",
 /// "approx_meu", "approx_meu_k:<percent>", "gub", "gub_expectation".
-/// Unknown names yield NotFound.
-Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name);
+/// Unknown names yield NotFound. `num_threads` > 1 parallelizes the
+/// candidate scan of strategies that support it (currently "meu"); other
+/// strategies ignore it. All built-in fusion models are thread-safe.
+Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name,
+                                               std::size_t num_threads = 1);
 
 /// Representative names accepted by MakeStrategy.
 std::vector<std::string> StrategyNames();

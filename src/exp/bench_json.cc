@@ -1,0 +1,112 @@
+#include "exp/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace veritas {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string QuotedJson(const std::string& s) {
+  return "\"" + EscapeJson(s) + "\"";
+}
+
+std::string NumberJson(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+BenchJsonRecord& BenchJsonRecord::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, NumberJson(value));
+  return *this;
+}
+
+BenchJsonRecord& BenchJsonRecord::Set(const std::string& key,
+                                      std::size_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchJsonRecord& BenchJsonRecord::Set(const std::string& key,
+                                      const std::string& value) {
+  fields_.emplace_back(key, QuotedJson(value));
+  return *this;
+}
+
+BenchJsonRecord& BenchJsonRecord::Set(const std::string& key,
+                                      const char* value) {
+  return Set(key, std::string(value));
+}
+
+BenchJsonRecord& BenchJsonRecord::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+void BenchJsonFile::SetMeta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, QuotedJson(value));
+}
+
+BenchJsonRecord& BenchJsonFile::Add(std::string name) {
+  records_.emplace_back(std::move(name));
+  return records_.back();
+}
+
+std::string BenchJsonFile::Render() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": " << QuotedJson(schema_);
+  for (const auto& [key, value] : meta_) {
+    out << ",\n  " << QuotedJson(key) << ": " << value;
+  }
+  out << ",\n  \"records\": [";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    const BenchJsonRecord& rec = records_[r];
+    out << (r == 0 ? "" : ",") << "\n    {\"name\": " << QuotedJson(rec.name_);
+    for (const auto& [key, value] : rec.fields_) {
+      out << ", " << QuotedJson(key) << ": " << value;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+Status BenchJsonFile::Write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << Render();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace veritas

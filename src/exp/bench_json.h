@@ -1,0 +1,63 @@
+// Machine-readable benchmark baselines. Bench binaries that accept
+// `--json <path>` serialize their measurements through this writer so runs
+// can be compared across commits (see BENCH_fusion.json at the repo root).
+//
+// The format is deliberately flat: one top-level object with a schema tag,
+// free-form metadata strings, and a `records` array of named measurements
+// whose fields are numbers, strings or booleans. No external JSON library —
+// the writer only ever emits, never parses.
+#ifndef VERITAS_EXP_BENCH_JSON_H_
+#define VERITAS_EXP_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace veritas {
+
+/// One named measurement, e.g. {"name": "fusion_full", "items": 4000,
+/// "ns_per_op": 1.2e6}. Fields keep insertion order.
+class BenchJsonRecord {
+ public:
+  explicit BenchJsonRecord(std::string name) : name_(std::move(name)) {}
+
+  BenchJsonRecord& Set(const std::string& key, double value);
+  BenchJsonRecord& Set(const std::string& key, std::size_t value);
+  BenchJsonRecord& Set(const std::string& key, const std::string& value);
+  BenchJsonRecord& Set(const std::string& key, const char* value);
+  BenchJsonRecord& Set(const std::string& key, bool value);
+
+ private:
+  friend class BenchJsonFile;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // Rendered.
+};
+
+/// Accumulates records and writes the whole document at once.
+class BenchJsonFile {
+ public:
+  explicit BenchJsonFile(std::string schema) : schema_(std::move(schema)) {}
+
+  /// Top-level metadata string (e.g. scale mode, dataset name).
+  void SetMeta(const std::string& key, const std::string& value);
+
+  /// Adds a record; the reference stays valid until the next Add.
+  BenchJsonRecord& Add(std::string name);
+
+  /// Writes the document to `path` (overwrite).
+  Status Write(const std::string& path) const;
+
+  /// The rendered document, for tests and stdout mirroring.
+  std::string Render() const;
+
+ private:
+  std::string schema_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<BenchJsonRecord> records_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_EXP_BENCH_JSON_H_

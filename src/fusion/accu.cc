@@ -2,50 +2,45 @@
 
 #include <cmath>
 
+#include "model/compiled_database.h"
 #include "util/math.h"
 
 namespace veritas {
 
 namespace {
 
-// One full pass of Eq. (1) over all items. Pinned items copy their prior.
-void UpdateProbabilities(const Database& db, const PriorSet& priors,
-                         const std::vector<double>& accuracies,
-                         FusionResult* result) {
-  for (ItemId i = 0; i < db.num_items(); ++i) {
-    std::vector<double>* probs = result->mutable_item_probs(i);
-    if (priors.Has(i)) {
-      *probs = priors.Get(i);
-      continue;
-    }
-    const std::size_t n_claims = db.num_claims(i);
-    if (n_claims == 1) {
-      (*probs)[0] = 1.0;
-      continue;
-    }
-    *probs = AccuFusion::ClaimProbabilities(db, i, accuracies);
+// Stable softmax of scores[0..n) written into probs[0..n).
+void SoftmaxInto(const double* scores, std::size_t n, double* probs) {
+  double max_score = scores[0];
+  for (std::size_t k = 1; k < n; ++k) {
+    if (scores[k] > max_score) max_score = scores[k];
   }
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum += std::exp(scores[k] - max_score);
+  const double lse = max_score + std::log(sum);
+  for (std::size_t k = 0; k < n; ++k) probs[k] = std::exp(scores[k] - lse);
 }
 
-// One full pass of Eq. (2): accuracy of a source is the mean probability of
-// the claims it votes for. Sources with no votes keep their current value.
-// Returns the L-infinity change.
-double UpdateAccuracies(const Database& db, const FusionResult& result,
-                        std::vector<double>* accuracies) {
-  double max_delta = 0.0;
-  for (SourceId j = 0; j < db.num_sources(); ++j) {
-    const Source& s = db.source(j);
-    if (s.votes.empty()) continue;
-    double sum = 0.0;
-    for (const Vote& v : s.votes) {
-      sum += result.prob(v.item, v.claim);
+// Items whose distribution never changes across iterations: pinned items
+// copy their prior once, single-claim items are certainly true. Returns one
+// flag per item and writes the constant distributions into `probs` (indexed
+// by global claim id).
+std::vector<char> MarkFixedItems(const CompiledDatabase& c,
+                                 const PriorSet& priors,
+                                 std::vector<double>* probs) {
+  std::vector<char> fixed(c.num_items(), 0);
+  for (ItemId i = 0; i < c.num_items(); ++i) {
+    const std::uint32_t g = c.claim_offset(i);
+    if (priors.Has(i)) {
+      const std::vector<double>& p = priors.Get(i);
+      for (std::size_t k = 0; k < p.size(); ++k) (*probs)[g + k] = p[k];
+      fixed[i] = 1;
+    } else if (c.item_num_claims(i) == 1) {
+      (*probs)[g] = 1.0;
+      fixed[i] = 1;
     }
-    const double updated =
-        ClampAccuracy(sum / static_cast<double>(s.votes.size()));
-    max_delta = std::max(max_delta, std::fabs(updated - (*accuracies)[j]));
-    (*accuracies)[j] = updated;
   }
-  return max_delta;
+  return fixed;
 }
 
 }  // namespace
@@ -77,29 +72,84 @@ FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
   return Fuse(db, priors, opts, nullptr);
 }
 
+// The alternation of Eq. (1) and Eq. (2) over the CSR view: all state lives
+// in flat arrays indexed by global claim id / source id, and the per-source
+// log-odds ln(A/(1-A)) is tabulated once per iteration so the claim-scoring
+// loop does lookups instead of a std::log per (claim, source) pair. The
+// per-item factor ln(|V_i|-1) folds in as voters * log_false_values(i).
 FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
                               const FusionOptions& opts,
                               const FusionResult* warm) const {
-  FusionResult result(db, opts.initial_accuracy);
+  const CompiledDatabase c(db);
   std::vector<double> accuracies =
       warm != nullptr ? warm->accuracies()
-                      : std::vector<double>(db.num_sources(),
+                      : std::vector<double>(c.num_sources(),
                                             opts.initial_accuracy);
   for (double& a : accuracies) a = ClampAccuracy(a);
 
+  std::vector<double> probs(c.num_claims(), 0.0);
+  const std::vector<char> fixed = MarkFixedItems(c, priors, &probs);
+
+  const std::vector<SourceId>& claim_sources = c.claim_sources();
+  std::vector<double> logit(c.num_sources(), 0.0);
+  std::vector<double> scores;
+
+  const auto update_probabilities = [&]() {
+    for (SourceId j = 0; j < c.num_sources(); ++j) {
+      const double a = ClampAccuracy(accuracies[j]);
+      logit[j] = std::log(a / (1.0 - a));
+    }
+    for (ItemId i = 0; i < c.num_items(); ++i) {
+      if (fixed[i]) continue;
+      const std::uint32_t g = c.claim_offset(i);
+      const std::size_t n = c.item_num_claims(i);
+      const double lf = c.log_false_values(i);
+      scores.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t begin = c.claim_sources_begin(g + k);
+        const std::uint32_t end = c.claim_sources_end(g + k);
+        double score = static_cast<double>(end - begin) * lf;
+        for (std::uint32_t v = begin; v < end; ++v) {
+          score += logit[claim_sources[v]];
+        }
+        scores[k] = score;
+      }
+      SoftmaxInto(scores.data(), n, probs.data() + g);
+    }
+  };
+
+  const std::vector<std::uint32_t>& source_claims = c.source_vote_claims();
   bool converged = false;
   std::size_t iter = 0;
   while (iter < opts.max_iterations) {
     ++iter;
-    UpdateProbabilities(db, priors, accuracies, &result);
-    const double delta = UpdateAccuracies(db, result, &accuracies);
-    if (delta < opts.tolerance) {
+    update_probabilities();
+    // Eq. (2): accuracy of a source is the mean probability of its claims.
+    double max_delta = 0.0;
+    for (SourceId j = 0; j < c.num_sources(); ++j) {
+      const std::uint32_t begin = c.source_votes_begin(j);
+      const std::uint32_t end = c.source_votes_end(j);
+      if (begin == end) continue;
+      double sum = 0.0;
+      for (std::uint32_t v = begin; v < end; ++v) sum += probs[source_claims[v]];
+      const double updated = ClampAccuracy(sum / static_cast<double>(end - begin));
+      max_delta = std::max(max_delta, std::fabs(updated - accuracies[j]));
+      accuracies[j] = updated;
+    }
+    if (max_delta < opts.tolerance) {
       converged = true;
       break;
     }
   }
   // Final probability pass so P is consistent with the final A.
-  UpdateProbabilities(db, priors, accuracies, &result);
+  update_probabilities();
+
+  FusionResult result(db, opts.initial_accuracy);
+  for (ItemId i = 0; i < c.num_items(); ++i) {
+    std::vector<double>* out = result.mutable_item_probs(i);
+    const std::uint32_t g = c.claim_offset(i);
+    for (std::size_t k = 0; k < out->size(); ++k) (*out)[k] = probs[g + k];
+  }
   *result.mutable_accuracies() = std::move(accuracies);
   result.set_iterations(iter);
   result.set_converged(converged);

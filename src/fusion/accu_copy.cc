@@ -106,6 +106,7 @@ PairEvidence CollectEvidence(const Database& db, const FusionResult& fusion,
 }  // namespace
 
 double AccuCopyFusion::DependenceProbability(SourceId a, SourceId b) const {
+  std::lock_guard<std::mutex> lock(diag_mutex_);
   if (a == b || a >= last_num_sources_ || b >= last_num_sources_) return 0.0;
   return dependence_[static_cast<std::size_t>(a) * last_num_sources_ + b];
 }
@@ -119,8 +120,10 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
                                   const FusionOptions& opts,
                                   const FusionResult* warm) const {
   const std::size_t n_sources = db.num_sources();
-  last_num_sources_ = n_sources;
-  dependence_.assign(n_sources * n_sources, 0.0);
+  // Per-call dependence matrix: Fuse must not touch shared members while
+  // running (MEU scores candidates with concurrent lookahead Fuse calls).
+  // The result is published to the diagnostics members once, at the end.
+  std::vector<double> dependence(n_sources * n_sources, 0.0);
 
   // Bootstrap from a *single* AccuNoDep iteration, not a converged run:
   // dependence evidence must be collected before the truth estimate
@@ -161,8 +164,8 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
               copy_options_.prior_copy_probability);
           posterior = std::max(ab, ba);
         }
-        dependence_[static_cast<std::size_t>(a) * n_sources + b] = posterior;
-        dependence_[static_cast<std::size_t>(b) * n_sources + a] = posterior;
+        dependence[static_cast<std::size_t>(a) * n_sources + b] = posterior;
+        dependence[static_cast<std::size_t>(b) * n_sources + a] = posterior;
       }
     }
 
@@ -208,9 +211,9 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
           for (std::size_t x = 1; x < ordered.size(); ++x) {
             for (std::size_t y = 0; y < x; ++y) {
               const double dep =
-                  dependence_[static_cast<std::size_t>(ordered[x]) *
-                                  n_sources +
-                              ordered[y]];
+                  dependence[static_cast<std::size_t>(ordered[x]) *
+                                 n_sources +
+                             ordered[y]];
               independence_weight[x] *=
                   1.0 - copy_options_.copy_rate * dep;
             }
@@ -246,6 +249,11 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
     result.set_converged(converged);
   }
   *result.mutable_accuracies() = std::move(accuracies);
+  {
+    std::lock_guard<std::mutex> lock(diag_mutex_);
+    last_num_sources_ = n_sources;
+    dependence_ = std::move(dependence);
+  }
   return result;
 }
 

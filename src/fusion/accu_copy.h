@@ -28,6 +28,7 @@
 #ifndef VERITAS_FUSION_ACCU_COPY_H_
 #define VERITAS_FUSION_ACCU_COPY_H_
 
+#include <mutex>
 #include <vector>
 
 #include "fusion/fusion_model.h"
@@ -64,19 +65,24 @@ class AccuCopyFusion : public FusionModel {
                     const FusionOptions& opts,
                     const FusionResult* warm) const override;
 
-  /// Posterior dependence probabilities of the last Fuse call, as a dense
-  /// symmetric matrix indexed [s1 * num_sources + s2] (diagonal is 0).
-  /// Exposed for diagnostics, tests and the copy-detection bench.
+  /// Posterior dependence probabilities of the last completed Fuse call, as
+  /// a dense symmetric matrix indexed [s1 * num_sources + s2] (diagonal 0).
+  /// Exposed for diagnostics, tests and the copy-detection bench. Fuse works
+  /// on per-call scratch and publishes here once at the end, so concurrent
+  /// Fuse calls are safe; do not read the reference while a Fuse is running.
   const std::vector<double>& last_dependence() const { return dependence_; }
 
-  /// Convenience accessor into last_dependence().
+  /// Convenience accessor into last_dependence(). Safe to call concurrently
+  /// with Fuse (reads under the publish lock).
   double DependenceProbability(SourceId a, SourceId b) const;
 
   const AccuCopyOptions& copy_options() const { return copy_options_; }
 
  private:
   AccuCopyOptions copy_options_;
-  // Cached from the last Fuse (mutable: Fuse is logically const).
+  // Diagnostics snapshot of the last Fuse, published under diag_mutex_
+  // (mutable: Fuse is logically const). The fusion itself never reads it.
+  mutable std::mutex diag_mutex_;
   mutable std::vector<double> dependence_;
   mutable std::size_t last_num_sources_ = 0;
 };

@@ -1,0 +1,435 @@
+#include "fusion/delta_fusion.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "fusion/accu.h"
+#include "fusion/truthfinder.h"
+#include "fusion/voting.h"
+#include "util/math.h"
+
+namespace veritas {
+
+namespace {
+
+// Generation stamps for BaseState so a workspace can tell two bases apart
+// even when one is rebuilt at the same address.
+std::atomic<std::uint64_t> g_base_state_counter{0};
+
+}  // namespace
+
+bool DeltaFusionEngine::Supports(const FusionModel& model) {
+  return dynamic_cast<const AccuFusion*>(&model) != nullptr ||
+         dynamic_cast<const VotingFusion*>(&model) != nullptr ||
+         dynamic_cast<const TruthFinderFusion*>(&model) != nullptr;
+}
+
+std::unique_ptr<DeltaFusionEngine> DeltaFusionEngine::Create(
+    const Database& db, const FusionModel& model, FusionOptions fusion_opts,
+    DeltaFusionOptions delta_opts) {
+  Kind kind;
+  double gamma = 0.0;
+  if (dynamic_cast<const AccuFusion*>(&model) != nullptr) {
+    kind = Kind::kAccu;
+  } else if (dynamic_cast<const VotingFusion*>(&model) != nullptr) {
+    kind = Kind::kVoting;
+  } else if (const auto* tf =
+                 dynamic_cast<const TruthFinderFusion*>(&model)) {
+    kind = Kind::kTruthFinder;
+    gamma = tf->gamma();
+  } else {
+    return nullptr;
+  }
+  return std::unique_ptr<DeltaFusionEngine>(new DeltaFusionEngine(
+      db, model, kind, gamma, fusion_opts, delta_opts));
+}
+
+DeltaFusionEngine::DeltaFusionEngine(const Database& db,
+                                     const FusionModel& model, Kind kind,
+                                     double gamma, FusionOptions fusion_opts,
+                                     DeltaFusionOptions delta_opts)
+    : db_(db),
+      model_(model),
+      kind_(kind),
+      gamma_(gamma),
+      fusion_opts_(fusion_opts),
+      delta_opts_(delta_opts),
+      compiled_(db) {}
+
+double DeltaFusionEngine::ScoreTerm(double accuracy) const {
+  const double a = ClampAccuracy(accuracy);
+  switch (kind_) {
+    case Kind::kAccu:
+      return std::log(a / (1.0 - a));
+    case Kind::kTruthFinder:
+      return -std::log(1.0 - a);
+    case Kind::kVoting:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+DeltaFusionEngine::BaseState DeltaFusionEngine::PrepareBase(
+    const FusionResult& base) const {
+  const CompiledDatabase& c = compiled_;
+  BaseState s;
+  s.origin = &base;
+  s.id = ++g_base_state_counter;
+  s.probs.resize(c.num_claims());
+  s.item_entropy.resize(c.num_items());
+  for (ItemId i = 0; i < c.num_items(); ++i) {
+    const std::vector<double>& p = base.item_probs(i);
+    const std::uint32_t g = c.claim_offset(i);
+    double h = 0.0;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      s.probs[g + k] = p[k];
+      h += EntropyTerm(p[k]);
+    }
+    s.item_entropy[i] = h;
+    s.total_entropy += h;
+  }
+  s.accuracies = base.accuracies();
+  for (double& a : s.accuracies) a = ClampAccuracy(a);
+  s.terms.resize(c.num_sources());
+  s.source_sums.assign(c.num_sources(), 0.0);
+  const std::vector<std::uint32_t>& source_claims = c.source_vote_claims();
+  for (SourceId j = 0; j < c.num_sources(); ++j) {
+    s.terms[j] = ScoreTerm(s.accuracies[j]);
+    double sum = 0.0;
+    for (std::uint32_t v = c.source_votes_begin(j); v < c.source_votes_end(j);
+         ++v) {
+      sum += s.probs[source_claims[v]];
+    }
+    s.source_sums[j] = sum;
+  }
+  return s;
+}
+
+void DeltaFusionEngine::SyncWorkspace(const BaseState& base,
+                                      Workspace& ws) const {
+  const CompiledDatabase& c = compiled_;
+  ws.claims_ = c.num_claims();
+  ws.sources_ = c.num_sources();
+  ws.items_ = c.num_items();
+  ws.prob_ = base.probs;
+  ws.acc_ = base.accuracies;
+  ws.sum_ = base.source_sums;
+  ws.term_ = base.terms;
+  ws.item_entropy_ = base.item_entropy;
+  ws.item_touch_tick_.assign(ws.items_, 0);
+  ws.source_touch_tick_.assign(ws.sources_, 0);
+  ws.source_enroll_tick_.assign(ws.sources_, 0);
+  ws.ticket_ = 0;
+  ws.synced_base_ = &base;
+  ws.synced_id_ = base.id;
+}
+
+void DeltaFusionEngine::ApplyPin(Workspace& ws, ItemId item, const double* pin,
+                                 std::size_t n) const {
+  const CompiledDatabase& c = compiled_;
+  const std::uint32_t g = c.claim_offset(item);
+  // Touch the item (pinned items join touched_items_ but never frontier_:
+  // they are fixed and must not be recomputed).
+  if (ws.item_touch_tick_[item] != ws.ticket_) {
+    ws.item_touch_tick_[item] = ws.ticket_;
+    ws.touched_items_.push_back(item);
+  }
+  // Claim deltas, then vote-sum updates, then the new probabilities.
+  ws.scores_.resize(n);
+  double h = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.scores_[k] = pin[k] - ws.prob_[g + k];
+    h += EntropyTerm(pin[k]);
+  }
+  const std::vector<SourceId>& vote_sources = c.item_vote_sources();
+  const std::vector<ClaimIndex>& vote_claims = c.item_vote_claims();
+  for (std::uint32_t v = c.item_votes_begin(item); v < c.item_votes_end(item);
+       ++v) {
+    const double dp = ws.scores_[vote_claims[v]];
+    if (dp == 0.0) continue;
+    const SourceId j = vote_sources[v];
+    ws.sum_[j] += dp;
+    if (ws.source_touch_tick_[j] != ws.ticket_) {
+      ws.source_touch_tick_[j] = ws.ticket_;
+      ws.touched_sources_.push_back(j);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = pin[k];
+  ws.item_entropy_[item] = h;
+}
+
+void DeltaFusionEngine::RecomputeItem(Workspace& ws, ItemId item) const {
+  const CompiledDatabase& c = compiled_;
+  const std::uint32_t g = c.claim_offset(item);
+  const std::size_t n = c.item_num_claims(item);
+  const std::vector<SourceId>& claim_sources = c.claim_sources();
+
+  ws.new_probs_.resize(n);
+  ws.scores_.resize(n);
+  double h = 0.0;
+  if (kind_ == Kind::kAccu) {
+    const double lf = c.log_false_values(item);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint32_t begin = c.claim_sources_begin(g + k);
+      const std::uint32_t end = c.claim_sources_end(g + k);
+      double score = static_cast<double>(end - begin) * lf;
+      for (std::uint32_t v = begin; v < end; ++v) {
+        score += ws.term_[claim_sources[v]];
+      }
+      ws.scores_[k] = score;
+    }
+    if (n == 2) {
+      // Two-claim fast path: one exp + one log1p for both the probabilities
+      // and the entropy H = log1p(e) + |d| * p_minor (softmax in sigmoid
+      // form; d is the score gap).
+      const double d = ws.scores_[0] - ws.scores_[1];
+      if (d >= 0.0) {
+        const double e = std::exp(-d);
+        const double p1 = e / (1.0 + e);
+        ws.new_probs_[1] = p1;
+        ws.new_probs_[0] = 1.0 - p1;
+        h = std::log1p(e) + d * p1;
+      } else {
+        const double e = std::exp(d);
+        const double p0 = e / (1.0 + e);
+        ws.new_probs_[0] = p0;
+        ws.new_probs_[1] = 1.0 - p0;
+        h = std::log1p(e) - d * p0;
+      }
+    } else {
+      double max_score = ws.scores_[0];
+      for (std::size_t k = 1; k < n; ++k) {
+        if (ws.scores_[k] > max_score) max_score = ws.scores_[k];
+      }
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double w = std::exp(ws.scores_[k] - max_score);
+        ws.new_probs_[k] = w;
+        sum += w;
+      }
+      // p_k = exp(s_k - lse)  =>  H = sum_k p_k * (lse - s_k), no logs per
+      // claim.
+      const double lse = max_score + std::log(sum);
+      const double inv = 1.0 / sum;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double p = ws.new_probs_[k] * inv;
+        ws.new_probs_[k] = p;
+        h += p * (lse - ws.scores_[k]);
+      }
+    }
+  } else {  // kTruthFinder (voting items are never recomputed)
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      double sigma = 0.0;
+      const std::uint32_t begin = c.claim_sources_begin(g + k);
+      const std::uint32_t end = c.claim_sources_end(g + k);
+      for (std::uint32_t v = begin; v < end; ++v) {
+        sigma += ws.term_[claim_sources[v]];
+      }
+      const double conf = 1.0 / (1.0 + std::exp(-gamma_ * sigma));
+      ws.new_probs_[k] = conf;
+      total += conf;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      ws.new_probs_[k] /= total;
+      h += EntropyTerm(ws.new_probs_[k]);
+    }
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.scores_[k] = ws.new_probs_[k] - ws.prob_[g + k];
+  }
+  const std::vector<SourceId>& vote_sources = c.item_vote_sources();
+  const std::vector<ClaimIndex>& vote_claims = c.item_vote_claims();
+  for (std::uint32_t v = c.item_votes_begin(item); v < c.item_votes_end(item);
+       ++v) {
+    const double dp = ws.scores_[vote_claims[v]];
+    if (dp == 0.0) continue;
+    const SourceId j = vote_sources[v];
+    ws.sum_[j] += dp;
+    if (ws.source_touch_tick_[j] != ws.ticket_) {
+      ws.source_touch_tick_[j] = ws.ticket_;
+      ws.touched_sources_.push_back(j);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = ws.new_probs_[k];
+  ws.item_entropy_[item] = h;
+}
+
+bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
+                                  ItemId extra_pin, bool enforce_coverage,
+                                  bool* converged, std::size_t* iterations,
+                                  DeltaFusionStats* stats) const {
+  const CompiledDatabase& c = compiled_;
+  const double eps =
+      delta_opts_.propagation_epsilon_factor * fusion_opts_.tolerance;
+  const std::size_t max_touched = static_cast<std::size_t>(
+      delta_opts_.max_frontier_fraction * static_cast<double>(c.num_items()));
+  const std::vector<ItemId>& vote_items = c.source_vote_items();
+
+  // Each round is one accuracy + probability alternation of the full model,
+  // restricted to the active subgraph: every source whose vote-sum ever
+  // moved, every non-fixed item any of them enrolled. The subgraph only
+  // grows (a source whose accuracy moved by >= eps enrolls all its items),
+  // so the rounds converge like a full warm-started Fuse instead of
+  // trickling influence one hop at a time.
+  bool conv = false;
+  std::size_t iter = 0;
+  while (iter < fusion_opts_.max_iterations) {
+    ++iter;
+
+    // Accuracy pass over the active sources. Sources whose sum did not move
+    // since their last update fall through at `delta == 0.0` in O(1).
+    double max_delta = 0.0;
+    for (SourceId j : ws.touched_sources_) {
+      const std::uint32_t begin = c.source_votes_begin(j);
+      const std::uint32_t end = c.source_votes_end(j);
+      if (begin == end) continue;
+      const double updated =
+          ClampAccuracy(ws.sum_[j] / static_cast<double>(end - begin));
+      const double delta = std::fabs(updated - ws.acc_[j]);
+      if (delta == 0.0) continue;
+      ws.acc_[j] = updated;
+      ws.term_[j] = ScoreTerm(updated);
+      if (delta > max_delta) max_delta = delta;
+      // Only a non-negligible move enrolls the source's items; smaller
+      // changes are absorbed (they are far below the convergence tolerance).
+      // Enrollment is idempotent (a source always enrolls all its non-fixed
+      // items), so each source scans its vote list at most once per call.
+      if (kind_ != Kind::kVoting && delta >= eps &&
+          ws.source_enroll_tick_[j] != ws.ticket_) {
+        ws.source_enroll_tick_[j] = ws.ticket_;
+        for (std::uint32_t v = begin; v < end; ++v) {
+          const ItemId i = vote_items[v];
+          if (ws.item_touch_tick_[i] == ws.ticket_) continue;
+          if (i == extra_pin || c.item_num_claims(i) <= 1 || priors.Has(i)) {
+            continue;
+          }
+          ws.item_touch_tick_[i] = ws.ticket_;
+          ws.touched_items_.push_back(i);
+          ws.frontier_.push_back(i);
+        }
+      }
+    }
+
+    // Coverage gate: when the update is global, materializing a delta result
+    // has no edge over a full pass — bail out before paying for both.
+    if (enforce_coverage && ws.touched_items_.size() > max_touched) {
+      if (stats != nullptr) {
+        stats->iterations = iter;
+        stats->touched_items = ws.touched_items_.size();
+        if (ws.frontier_.size() > stats->peak_frontier) {
+          stats->peak_frontier = ws.frontier_.size();
+        }
+      }
+      return false;
+    }
+    if (stats != nullptr && ws.frontier_.size() > stats->peak_frontier) {
+      stats->peak_frontier = ws.frontier_.size();
+    }
+
+    // Probability pass over the active items (the converged-base analogue of
+    // the full model's probability update, including its trailing pass:
+    // probabilities are refreshed once more on the round that converges).
+    for (ItemId i : ws.frontier_) RecomputeItem(ws, i);
+    if (max_delta < fusion_opts_.tolerance) {
+      conv = true;
+      break;
+    }
+  }
+
+  *converged = conv;
+  *iterations = iter;
+  if (stats != nullptr) {
+    stats->iterations = iter;
+    stats->touched_items = ws.touched_items_.size();
+  }
+  return true;
+}
+
+FusionResult DeltaFusionEngine::FuseWithPins(const FusionResult& base,
+                                             const PriorSet& priors,
+                                             const std::vector<ItemId>& items,
+                                             DeltaFusionStats* stats) const {
+  const BaseState state = PrepareBase(base);
+  Workspace ws;
+  SyncWorkspace(state, ws);
+  ++ws.ticket_;
+  for (ItemId item : items) {
+    const std::vector<double>& pin = priors.Get(item);
+    ApplyPin(ws, item, pin.data(), pin.size());
+  }
+  bool conv = false;
+  std::size_t iters = 0;
+  if (!Propagate(ws, priors, kInvalidItem, /*enforce_coverage=*/true, &conv,
+                 &iters, stats)) {
+    if (stats != nullptr) stats->fell_back = true;
+    return model_.Fuse(db_, priors, fusion_opts_, &base);
+  }
+  FusionResult out = base;
+  const CompiledDatabase& c = compiled_;
+  for (ItemId i : ws.touched_items_) {
+    std::vector<double>* probs = out.mutable_item_probs(i);
+    const std::uint32_t g = c.claim_offset(i);
+    for (std::size_t k = 0; k < probs->size(); ++k) {
+      (*probs)[k] = ws.prob_[g + k];
+    }
+  }
+  std::vector<double>* accuracies = out.mutable_accuracies();
+  for (SourceId j : ws.touched_sources_) (*accuracies)[j] = ws.acc_[j];
+  out.set_iterations(iters);
+  out.set_converged(conv);
+  return out;
+}
+
+double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
+                                               Workspace& ws,
+                                               const PriorSet& priors,
+                                               ItemId item, ClaimIndex claim,
+                                               DeltaFusionStats* stats) const {
+  const CompiledDatabase& c = compiled_;
+  // First sight of this base: copy it into the flat working arrays. Later
+  // calls only pay for what they touch (and restore below).
+  if (ws.synced_base_ != &base || ws.synced_id_ != base.id) {
+    SyncWorkspace(base, ws);
+  }
+  ++ws.ticket_;
+  ws.touched_items_.clear();
+  ws.touched_sources_.clear();
+  ws.frontier_.clear();
+
+  const std::size_t n = c.item_num_claims(item);
+  ws.new_probs_.assign(n, 0.0);
+  ws.new_probs_[claim] = 1.0;
+  // ApplyPin reads deltas into scores_, so new_probs_ survives the call.
+  ApplyPin(ws, item, ws.new_probs_.data(), n);
+
+  // No coverage gate on the lookahead path: even when the pin's influence is
+  // global, relaxing on the workspace arrays still skips the view rebuild,
+  // allocations, and result materialization a fallback Fuse would pay for.
+  bool conv = false;
+  std::size_t iters = 0;
+  Propagate(ws, priors, item, /*enforce_coverage=*/false, &conv, &iters,
+            stats);
+
+  double total = base.total_entropy;
+  for (ItemId i : ws.touched_items_) {
+    total += ws.item_entropy_[i] - base.item_entropy[i];
+  }
+
+  // Restore the touched entries so the workspace mirrors the base again.
+  for (ItemId i : ws.touched_items_) {
+    const std::uint32_t g = c.claim_offset(i);
+    const std::size_t ni = c.item_num_claims(i);
+    for (std::size_t k = 0; k < ni; ++k) ws.prob_[g + k] = base.probs[g + k];
+    ws.item_entropy_[i] = base.item_entropy[i];
+  }
+  for (SourceId j : ws.touched_sources_) {
+    ws.acc_[j] = base.accuracies[j];
+    ws.term_[j] = base.terms[j];
+    ws.sum_[j] = base.source_sums[j];
+  }
+  return total;
+}
+
+}  // namespace veritas

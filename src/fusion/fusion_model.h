@@ -21,6 +21,13 @@ struct FusionOptions {
   std::size_t max_iterations = 100;
   /// Convergence threshold on the L-infinity change of source accuracies.
   double tolerance = 1e-6;
+  /// Use the incremental DeltaFusionEngine for lookahead and post-feedback
+  /// re-fusions when the model supports it (Accu, Voting, TruthFinder; see
+  /// fusion/delta_fusion.h). Models without local-update structure (AccuCopy)
+  /// ignore the flag and always re-fuse fully. Only takes effect together
+  /// with warm starts — cold-started runs stay on the full path so the
+  /// paper's worked examples remain bit-exact.
+  bool use_delta_fusion = true;
 };
 
 /// Interface of a data fusion system.

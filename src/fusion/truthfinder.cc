@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "model/compiled_database.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -12,53 +13,74 @@ FusionResult TruthFinderFusion::Fuse(const Database& db,
   return Fuse(db, priors, opts, nullptr);
 }
 
+// Trust/confidence alternation over the CSR view. The per-source score
+// tau(s) = -ln(1 - t(s)) is tabulated once per iteration, so the claim
+// confidence loop is additions over flat arrays.
 FusionResult TruthFinderFusion::Fuse(const Database& db,
                                      const PriorSet& priors,
                                      const FusionOptions& opts,
                                      const FusionResult* warm) const {
-  FusionResult result(db, opts.initial_accuracy);
+  const CompiledDatabase c(db);
   std::vector<double> trust =
       warm != nullptr ? warm->accuracies()
-                      : std::vector<double>(db.num_sources(),
+                      : std::vector<double>(c.num_sources(),
                                             opts.initial_accuracy);
   for (double& t : trust) t = ClampAccuracy(t);
 
+  std::vector<double> probs(c.num_claims(), 0.0);
+  // Constant distributions: pinned items copy their prior, singletons are 1.
+  std::vector<char> fixed(c.num_items(), 0);
+  for (ItemId i = 0; i < c.num_items(); ++i) {
+    const std::uint32_t g = c.claim_offset(i);
+    if (priors.Has(i)) {
+      const std::vector<double>& p = priors.Get(i);
+      for (std::size_t k = 0; k < p.size(); ++k) probs[g + k] = p[k];
+      fixed[i] = 1;
+    } else if (c.item_num_claims(i) == 1) {
+      probs[g] = 1.0;
+      fixed[i] = 1;
+    }
+  }
+
+  const std::vector<SourceId>& claim_sources = c.claim_sources();
+  const std::vector<std::uint32_t>& source_claims = c.source_vote_claims();
+  std::vector<double> tau(c.num_sources(), 0.0);
+
   bool converged = false;
   std::size_t iter = 0;
-  std::vector<double> conf;
   while (iter < opts.max_iterations) {
     ++iter;
     // Claim confidences -> per-item distributions.
-    for (ItemId i = 0; i < db.num_items(); ++i) {
-      std::vector<double>* probs = result.mutable_item_probs(i);
-      if (priors.Has(i)) {
-        *probs = priors.Get(i);
-        continue;
-      }
-      const Item& o = db.item(i);
-      if (o.claims.size() == 1) {
-        (*probs)[0] = 1.0;
-        continue;
-      }
-      conf.assign(o.claims.size(), 0.0);
-      for (ClaimIndex k = 0; k < o.claims.size(); ++k) {
+    for (SourceId j = 0; j < c.num_sources(); ++j) {
+      tau[j] = -std::log(1.0 - ClampAccuracy(trust[j]));
+    }
+    for (ItemId i = 0; i < c.num_items(); ++i) {
+      if (fixed[i]) continue;
+      const std::uint32_t g = c.claim_offset(i);
+      const std::size_t n = c.item_num_claims(i);
+      double total = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
         double sigma = 0.0;
-        for (SourceId s : o.claims[k].sources) {
-          sigma += -std::log(1.0 - ClampAccuracy(trust[s]));
+        const std::uint32_t begin = c.claim_sources_begin(g + k);
+        const std::uint32_t end = c.claim_sources_end(g + k);
+        for (std::uint32_t v = begin; v < end; ++v) {
+          sigma += tau[claim_sources[v]];
         }
-        conf[k] = 1.0 / (1.0 + std::exp(-gamma_ * sigma));
+        const double conf = 1.0 / (1.0 + std::exp(-gamma_ * sigma));
+        probs[g + k] = conf;
+        total += conf;
       }
-      *probs = Normalize(conf);
+      for (std::size_t k = 0; k < n; ++k) probs[g + k] /= total;
     }
     // Trust update.
     double max_delta = 0.0;
-    for (SourceId j = 0; j < db.num_sources(); ++j) {
-      const Source& s = db.source(j);
-      if (s.votes.empty()) continue;
+    for (SourceId j = 0; j < c.num_sources(); ++j) {
+      const std::uint32_t begin = c.source_votes_begin(j);
+      const std::uint32_t end = c.source_votes_end(j);
+      if (begin == end) continue;
       double sum = 0.0;
-      for (const Vote& v : s.votes) sum += result.prob(v.item, v.claim);
-      const double updated =
-          ClampAccuracy(sum / static_cast<double>(s.votes.size()));
+      for (std::uint32_t v = begin; v < end; ++v) sum += probs[source_claims[v]];
+      const double updated = ClampAccuracy(sum / static_cast<double>(end - begin));
       max_delta = std::max(max_delta, std::fabs(updated - trust[j]));
       trust[j] = updated;
     }
@@ -66,6 +88,13 @@ FusionResult TruthFinderFusion::Fuse(const Database& db,
       converged = true;
       break;
     }
+  }
+
+  FusionResult result(db, opts.initial_accuracy);
+  for (ItemId i = 0; i < c.num_items(); ++i) {
+    std::vector<double>* out = result.mutable_item_probs(i);
+    const std::uint32_t g = c.claim_offset(i);
+    for (std::size_t k = 0; k < out->size(); ++k) (*out)[k] = probs[g + k];
   }
   *result.mutable_accuracies() = std::move(trust);
   result.set_iterations(iter);

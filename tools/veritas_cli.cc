@@ -49,6 +49,7 @@ void PrintUsage() {
       "  session      --data obs.csv --truth truth.csv\n"
       "               [--strategy approx_meu] [--budget 20]\n"
       "               [--oracle perfect] [--batch 1] [--seed 42]\n"
+      "               [--model accu] [--threads 1] [--no-delta]\n"
       "               [--flaky <p|plan>] [--retries 3]\n"
       "               [--checkpoint ckpt] [--checkpoint-every 1]\n"
       "               [--resume ckpt]\n"
@@ -180,8 +181,13 @@ Status RunRank(const ArgMap& args) {
 Status RunSession(const ArgMap& args) {
   VERITAS_ASSIGN_OR_RETURN(Database db, RequireData(args));
   VERITAS_ASSIGN_OR_RETURN(GroundTruth truth, RequireTruth(args, db));
+  VERITAS_ASSIGN_OR_RETURN(long threads, args.GetInt("threads", 1));
+  if (threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
   VERITAS_ASSIGN_OR_RETURN(
-      auto strategy, MakeStrategy(args.GetString("strategy", "approx_meu")));
+      auto strategy, MakeStrategy(args.GetString("strategy", "approx_meu"),
+                                  static_cast<std::size_t>(threads)));
   VERITAS_ASSIGN_OR_RETURN(auto oracle,
                            MakeOracle(args.GetString("oracle", "perfect")));
   VERITAS_ASSIGN_OR_RETURN(long budget, args.GetInt("budget", 20));
@@ -209,8 +215,13 @@ Status RunSession(const ArgMap& args) {
     oracle_ptr = retrying.get();
   }
 
-  AccuFusion model;
+  VERITAS_ASSIGN_OR_RETURN(auto model,
+                           MakeFusionModel(args.GetString("model", "accu")));
   SessionOptions options;
+  // --no-delta forces every re-fusion (lookahead and post-feedback) onto the
+  // full path; with the flag absent, models with local-update structure use
+  // the incremental DeltaFusionEngine.
+  options.fusion.use_delta_fusion = !args.GetBool("no-delta");
   options.max_validations = static_cast<std::size_t>(budget);
   options.batch_size = static_cast<std::size_t>(batch);
   options.checkpoint_path = args.GetString("checkpoint");
@@ -221,7 +232,7 @@ Status RunSession(const ArgMap& args) {
   }
   options.checkpoint_every_rounds = static_cast<std::size_t>(every);
   Rng rng(static_cast<std::uint64_t>(seed));
-  FeedbackSession session(db, model, strategy.get(), oracle_ptr, truth,
+  FeedbackSession session(db, *model, strategy.get(), oracle_ptr, truth,
                           options, &rng);
   VERITAS_ASSIGN_OR_RETURN(SessionTrace trace, session.Run());
 
