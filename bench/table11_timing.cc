@@ -23,6 +23,8 @@
 #include "exp/scale.h"
 #include "fusion/accu.h"
 #include "fusion/delta_fusion.h"
+#include "obs/metrics.h"
+#include "obs/obs_flags.h"
 #include "util/math.h"
 #include "util/timer.h"
 
@@ -162,6 +164,20 @@ double SecondsPerOp(Fn&& fn, std::size_t min_reps = 3,
   return timer.ElapsedSeconds() / static_cast<double>(reps);
 }
 
+// Folds a histogram's summary stats into a bench record under
+// `prefix`_{count,mean,stddev,min,max} (all zero when never observed).
+void SetHistStats(BenchJsonRecord& record, const std::string& prefix,
+                  const MetricsSnapshot& snap, const std::string& name) {
+  const HistogramSnapshot* h = snap.FindHistogram(name);
+  HistogramSnapshot empty;
+  if (h == nullptr) h = &empty;
+  record.Set(prefix + "_count", static_cast<std::size_t>(h->count))
+      .Set(prefix + "_mean", h->mean)
+      .Set(prefix + "_stddev", h->stddev)
+      .Set(prefix + "_min", h->count > 0 ? h->min : 0.0)
+      .Set(prefix + "_max", h->max);
+}
+
 // Largest |p_delta - p_full| over all claims between a delta re-fusion and
 // the warm full re-fusion it replaces (both after the same pin).
 double MaxProbDiff(const Database& db, const FusionResult& a,
@@ -223,8 +239,12 @@ int WriteBenchJson(const std::string& path, ScaleMode mode) {
         dataset, reference, "meu", actions, /*use_delta=*/false);
     const double meu_full_s =
         MeanSelectSeconds(dataset, "meu", actions, /*use_delta=*/false);
+    // Isolate the delta-path run in the registry so the per-phase record
+    // below describes exactly this session (Reset keeps cached pointers).
+    MetricsRegistry::Global().Reset();
     const double meu_delta_s =
         MeanSelectSeconds(dataset, "meu", actions, /*use_delta=*/true);
+    const MetricsSnapshot phases = MetricsRegistry::Global().Snapshot();
     total_baseline_s += meu_baseline_s;
     total_full_s += meu_full_s;
     total_delta_s += meu_delta_s;
@@ -246,6 +266,34 @@ int WriteBenchJson(const std::string& path, ScaleMode mode) {
         .Set("meu_step_delta_seconds", meu_delta_s)
         .Set("meu_step_speedup_vs_baseline", meu_baseline_s / meu_delta_s)
         .Set("meu_step_speedup_vs_full", meu_full_s / meu_delta_s);
+
+    // Per-phase breakdown of the delta-path MEU session, straight from the
+    // metrics registry: where the wall time went and what the fusion and
+    // delta engines did to earn it.
+    BenchJsonRecord& phase_rec =
+        json.Add("table11_phases").Set("dataset", dataset.name);
+    SetHistStats(phase_rec, "select_seconds", phases,
+                 "session.select_seconds");
+    SetHistStats(phase_rec, "fuse_seconds", phases, "session.fuse_seconds");
+    SetHistStats(phase_rec, "oracle_seconds", phases,
+                 "session.oracle_seconds");
+    SetHistStats(phase_rec, "accu_iterations", phases,
+                 "fusion.accu.iterations");
+    phase_rec
+        .Set("accu_fuse_calls",
+             static_cast<std::size_t>(phases.Value("fusion.accu.fuse_calls")))
+        .Set("meu_lookaheads",
+             static_cast<std::size_t>(phases.Value("strategy.meu.lookaheads")))
+        .Set("delta_lookahead_pins",
+             static_cast<std::size_t>(phases.Value("delta.lookahead_pins")))
+        .Set("delta_fuse_with_pins",
+             static_cast<std::size_t>(phases.Value("delta.fuse_with_pins")))
+        .Set("delta_fallbacks",
+             static_cast<std::size_t>(phases.Value("delta.fallbacks")))
+        .Set("oracle_retry_attempts",
+             static_cast<std::size_t>(phases.Value("oracle.retry.attempts")))
+        .Set("oracle_retry_retries",
+             static_cast<std::size_t>(phases.Value("oracle.retry.retries")));
   }
   json.Add("meu_speedup")
       .Set("total_baseline_seconds", total_baseline_s)
@@ -267,9 +315,16 @@ int WriteBenchJson(const std::string& path, ScaleMode mode) {
 
 int main(int argc, char** argv) {
   const ScaleMode mode = GetScaleMode();
+  const ObsOutputs obs = ScanObsFlags(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-      return WriteBenchJson(argv[i + 1], mode);
+      const int rc = WriteBenchJson(argv[i + 1], mode);
+      const Status obs_status = WriteObsOutputs(obs);
+      if (!obs_status.ok()) {
+        std::cerr << "error: " << obs_status.ToString() << "\n";
+        return 1;
+      }
+      return rc;
     }
   }
   PrintBanner(std::cout,
@@ -314,5 +369,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "(paper shape: QBC/US << Approx-MEU << MEU; absolute values "
                "differ by hardware/scale)\n";
+  const Status obs_status = WriteObsOutputs(obs);
+  if (!obs_status.ok()) {
+    std::cerr << "error: " << obs_status.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

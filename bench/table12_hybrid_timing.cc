@@ -20,6 +20,7 @@
 #include "exp/report.h"
 #include "exp/scale.h"
 #include "fusion/accu.h"
+#include "obs/obs_flags.h"
 
 using namespace veritas;
 
@@ -44,8 +45,9 @@ double MeanSelectSeconds(const NamedDataset& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const ScaleMode mode = GetScaleMode();
+  const ObsOutputs obs = ScanObsFlags(argc, argv);
   PrintBanner(std::cout,
               "Table 12: seconds/action for QBC, US and Approx-MEU_k "
               "(scale=" + ScaleModeName(mode) + ")");
@@ -65,5 +67,10 @@ int main() {
   }
   table.Print(std::cout);
   std::cout << "(paper shape: cost grows with k; QBC/US remain cheap)\n";
+  const Status obs_status = WriteObsOutputs(obs);
+  if (!obs_status.ok()) {
+    std::cerr << "error: " << obs_status.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

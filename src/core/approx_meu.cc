@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "fusion/accu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -125,6 +127,13 @@ std::vector<double> ApproxMeuStrategy::ScoreCandidates(
     const StrategyContext& ctx, const std::vector<ItemId>& candidates,
     const std::vector<bool>* impact_filter) {
   assert(ctx.graph != nullptr && "ApproxMeu requires ctx.graph");
+  VERITAS_SPAN("strategy.approx_meu.score");
+  static Counter* lookaheads =
+      MetricsRegistry::Global().GetCounter("strategy.approx_meu.lookaheads");
+  static Histogram* candidates_hist = MetricsRegistry::Global().GetHistogram(
+      "strategy.approx_meu.candidates", MetricsRegistry::CountEdges());
+  lookaheads->Add(candidates.size());
+  candidates_hist->Observe(static_cast<double>(candidates.size()));
   const Database& db = *ctx.db;
   const FusionResult& fusion = *ctx.fusion;
 
@@ -165,6 +174,9 @@ std::vector<double> ApproxMeuStrategy::ScoreCandidates(
 
 std::vector<ItemId> ApproxMeuStrategy::SelectBatch(const StrategyContext& ctx,
                                                    std::size_t batch) {
+  static Counter* select_calls = MetricsRegistry::Global().GetCounter(
+      "strategy.approx_meu.select_calls");
+  select_calls->Add(1);
   const std::vector<ItemId> candidates = CandidateItems(ctx);
   const std::vector<double> gains =
       ScoreCandidates(ctx, candidates, /*impact_filter=*/nullptr);

@@ -6,6 +6,9 @@
 #include <thread>
 
 #include "core/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace veritas {
 
@@ -46,7 +49,20 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
   assert(ctx.model != nullptr && ctx.fusion_opts != nullptr &&
          ctx.ground_truth != nullptr &&
          "GubStrategy requires ctx.model, ctx.fusion_opts, ctx.ground_truth");
+  VERITAS_SPAN("strategy.gub.select");
+  static Counter* select_calls =
+      MetricsRegistry::Global().GetCounter("strategy.gub.select_calls");
+  static Counter* lookaheads =
+      MetricsRegistry::Global().GetCounter("strategy.gub.lookaheads");
+  static Histogram* candidates_hist = MetricsRegistry::Global().GetHistogram(
+      "strategy.gub.candidates", MetricsRegistry::CountEdges());
+  static Histogram* utilization_hist = MetricsRegistry::Global().GetHistogram(
+      "strategy.gub.worker_utilization",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   const std::vector<ItemId> candidates = CandidateItems(ctx);
+  select_calls->Add(1);
+  lookaheads->Add(candidates.size());
+  candidates_hist->Observe(static_cast<double>(candidates.size()));
   const double current_utility =
       GroundTruthUtility(*ctx.db, *ctx.fusion, *ctx.ground_truth);
 
@@ -57,20 +73,33 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
       gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
     }
   } else {
-    // Independent lookaheads; see MeuStrategy::SelectBatch for the scheme.
+    // Independent lookaheads; see MeuStrategy::SelectBatch for the scheme
+    // (including the per-worker utilization accounting).
+    Timer wall;
+    std::vector<double> busy_seconds(workers, 0.0);
     std::atomic<std::size_t> next{0};
-    auto work = [&]() {
+    auto work = [&](std::size_t worker) {
+      Timer busy;
       while (true) {
         const std::size_t idx = next.fetch_add(1);
         if (idx >= candidates.size()) break;
         gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
       }
+      busy_seconds[worker] = busy.ElapsedSeconds();
     };
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
-    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
-    work();
+    for (std::size_t t = 0; t + 1 < workers; ++t) {
+      pool.emplace_back(work, t + 1);
+    }
+    work(0);
     for (std::thread& t : pool) t.join();
+    const double wall_seconds = wall.ElapsedSeconds();
+    if (wall_seconds > 0.0) {
+      for (double busy : busy_seconds) {
+        utilization_hist->Observe(busy / wall_seconds);
+      }
+    }
   }
   return TopKByScore(candidates, gains, batch);
 }

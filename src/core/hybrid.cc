@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "core/approx_meu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace veritas {
@@ -59,7 +61,14 @@ std::vector<ItemId> ApproxMeuKStrategy::FilterCandidates(
 
 std::vector<ItemId> ApproxMeuKStrategy::SelectBatch(const StrategyContext& ctx,
                                                     std::size_t batch) {
+  VERITAS_SPAN("strategy.hybrid.select");
+  static Counter* select_calls =
+      MetricsRegistry::Global().GetCounter("strategy.hybrid.select_calls");
+  static Histogram* kept_hist = MetricsRegistry::Global().GetHistogram(
+      "strategy.hybrid.kept_candidates", MetricsRegistry::CountEdges());
+  select_calls->Add(1);
   const std::vector<ItemId> candidates = FilterCandidates(ctx, k_percent_);
+  kept_hist->Observe(static_cast<double>(candidates.size()));
   if (candidates.empty()) return candidates;
   // Impact computation is restricted to the same top-k% set (§B.3: "We
   // compute only the impact of these ... data items on each other").

@@ -5,6 +5,10 @@
 #include <optional>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace veritas {
 
 double MeuStrategy::ExpectedEntropyAfterValidation(const StrategyContext& ctx,
@@ -58,7 +62,20 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
                                              std::size_t batch) {
   assert(ctx.model != nullptr && ctx.fusion_opts != nullptr &&
          "MeuStrategy requires ctx.model and ctx.fusion_opts");
+  VERITAS_SPAN("strategy.meu.select");
+  static Counter* select_calls =
+      MetricsRegistry::Global().GetCounter("strategy.meu.select_calls");
+  static Counter* lookaheads =
+      MetricsRegistry::Global().GetCounter("strategy.meu.lookaheads");
+  static Histogram* candidates_hist = MetricsRegistry::Global().GetHistogram(
+      "strategy.meu.candidates", MetricsRegistry::CountEdges());
+  static Histogram* utilization_hist = MetricsRegistry::Global().GetHistogram(
+      "strategy.meu.worker_utilization",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   const std::vector<ItemId> candidates = CandidateItems(ctx);
+  select_calls->Add(1);
+  lookaheads->Add(candidates.size());
+  candidates_hist->Observe(static_cast<double>(candidates.size()));
   const double current_entropy = ctx.fusion->TotalEntropy();
   std::vector<double> gains(candidates.size(), 0.0);
 
@@ -84,20 +101,35 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
     // Each candidate's lookahead is independent; work-steal over an atomic
     // index so stragglers do not serialize the batch. Writes go to disjoint
     // slots, so the result is identical to the sequential run.
+    Timer wall;
+    std::vector<double> busy_seconds(workers, 0.0);
     std::atomic<std::size_t> next{0};
-    auto work = [&]() {
+    auto work = [&](std::size_t worker) {
+      Timer busy;
       DeltaFusionEngine::Workspace ws;
       while (true) {
         const std::size_t idx = next.fetch_add(1);
         if (idx >= candidates.size()) break;
         gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
       }
+      busy_seconds[worker] = busy.ElapsedSeconds();
     };
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
-    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(work);
-    work();
+    for (std::size_t t = 0; t + 1 < workers; ++t) {
+      pool.emplace_back(work, t + 1);
+    }
+    work(0);
     for (std::thread& t : pool) t.join();
+    // Worker utilization: each worker's busy time over the section's wall
+    // time. Work stealing should keep every observation near 1.0; a low
+    // tail means stragglers serialized the scan.
+    const double wall_seconds = wall.ElapsedSeconds();
+    if (wall_seconds > 0.0) {
+      for (double busy : busy_seconds) {
+        utilization_hist->Observe(busy / wall_seconds);
+      }
+    }
   }
   return TopKByScore(candidates, gains, batch);
 }

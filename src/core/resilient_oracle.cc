@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace veritas {
 
 FlakyOracle::FlakyOracle(FeedbackOracle* inner, FaultPlan plan,
@@ -24,8 +27,16 @@ Result<std::vector<double>> FlakyOracle::Answer(const Database& db,
                                                 ItemId item,
                                                 const GroundTruth& truth,
                                                 Rng* rng) {
+  // Bespoke per-oracle counters stay (tests and callers consume them), but
+  // the registry carries the fleet-wide view the same numbers roll into.
+  static Counter* calls_counter =
+      MetricsRegistry::Global().GetCounter("oracle.flaky.calls");
+  static Counter* faults_counter =
+      MetricsRegistry::Global().GetCounter("oracle.flaky.faults_injected");
   const FaultOutcome outcome = injector_.Next(kSite);
   simulated_latency_ += outcome.latency_seconds;
+  calls_counter->Add(1);
+  if (outcome.kind != FaultKind::kNone) faults_counter->Add(1);
   switch (outcome.kind) {
     case FaultKind::kUnavailable:
       return Status::Unavailable("injected fault: oracle unavailable for '" +
@@ -72,6 +83,15 @@ Result<std::vector<double>> RetryingOracle::Answer(const Database& db,
                                                    ItemId item,
                                                    const GroundTruth& truth,
                                                    Rng* rng) {
+  VERITAS_SPAN("oracle.answer");
+  static Counter* attempts_counter =
+      MetricsRegistry::Global().GetCounter("oracle.retry.attempts");
+  static Counter* retries_counter =
+      MetricsRegistry::Global().GetCounter("oracle.retry.retries");
+  static Counter* exhausted_counter =
+      MetricsRegistry::Global().GetCounter("oracle.retry.exhausted");
+  static Histogram* backoff_hist =
+      MetricsRegistry::Global().GetHistogram("oracle.retry.backoff_seconds");
   RetryStats call_stats;
   Result<std::vector<double>> result = RetryCall<std::vector<double>>(
       policy_,
@@ -83,6 +103,12 @@ Result<std::vector<double>> RetryingOracle::Answer(const Database& db,
   stats_.total_backoff_seconds += call_stats.total_backoff_seconds;
   if (!result.ok()) ++stats_.exhausted;
   attempts_per_item_[item] += call_stats.attempts;
+  attempts_counter->Add(call_stats.attempts);
+  retries_counter->Add(call_stats.attempts - 1);
+  if (!result.ok()) exhausted_counter->Add(1);
+  if (call_stats.total_backoff_seconds > 0.0) {
+    backoff_hist->Observe(call_stats.total_backoff_seconds);
+  }
   return result;
 }
 

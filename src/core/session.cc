@@ -9,6 +9,8 @@
 #include "core/metrics.h"
 #include "core/session_checkpoint.h"
 #include "fusion/delta_fusion.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace veritas {
@@ -78,6 +80,25 @@ FeedbackSession::FeedbackSession(const Database& db, const FusionModel& model,
       rng_(rng) {}
 
 Result<SessionTrace> FeedbackSession::Run() {
+  VERITAS_SPAN("session.run");
+  // Per-phase instruments (Table 11/12 breakdowns): cached once, one atomic
+  // op / histogram observe per round afterwards.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* rounds_counter = reg.GetCounter("session.rounds");
+  static Counter* validated_counter = reg.GetCounter("session.items_validated");
+  static Counter* skipped_counter = reg.GetCounter("session.items_skipped");
+  static Counter* retries_counter = reg.GetCounter("session.oracle_retries");
+  static Counter* nonconverged_counter =
+      reg.GetCounter("session.fusion_nonconverged_rounds");
+  static Counter* fallback_counter =
+      reg.GetCounter("session.fusion_fallback_rounds");
+  static Histogram* select_hist = reg.GetHistogram("session.select_seconds");
+  static Histogram* oracle_hist = reg.GetHistogram("session.oracle_seconds");
+  static Histogram* fuse_hist = reg.GetHistogram("session.fuse_seconds");
+  static Histogram* metrics_hist = reg.GetHistogram("session.metrics_seconds");
+  static Histogram* checkpoint_hist =
+      reg.GetHistogram("session.checkpoint_seconds");
+
   SessionTrace trace;
   strategy_->Reset();
   const ItemGraph graph(db_);
@@ -143,6 +164,8 @@ Result<SessionTrace> FeedbackSession::Run() {
       return Status::OK();
     }
     rounds_since_checkpoint = 0;
+    VERITAS_SPAN("session.checkpoint");
+    Timer checkpoint_timer;
     SessionCheckpoint cp;
     cp.num_validated = validated;
     cp.initial_distance = trace.initial_distance;
@@ -156,7 +179,9 @@ Result<SessionTrace> FeedbackSession::Run() {
     cp.fusion = fusion;
     cp.rng_state = SerializeRngState(rng_);
     cp.oracle_state = oracle_->SerializeState();
-    return SaveSessionCheckpoint(cp, options_.checkpoint_path);
+    const Status status = SaveSessionCheckpoint(cp, options_.checkpoint_path);
+    checkpoint_hist->Observe(checkpoint_timer.ElapsedSeconds());
+    return status;
   };
 
   while (validated < options_.max_validations) {
@@ -177,37 +202,57 @@ Result<SessionTrace> FeedbackSession::Run() {
     const std::size_t want = std::min(
         options_.batch_size, options_.max_validations - validated);
 
+    rounds_counter->Add(1);
     Timer select_timer;
-    const std::vector<ItemId> batch = strategy_->SelectBatch(ctx, want);
+    std::vector<ItemId> batch;
+    {
+      VERITAS_SPAN("session.select");
+      batch = strategy_->SelectBatch(ctx, want);
+    }
     const double select_seconds = select_timer.ElapsedSeconds();
+    select_hist->Observe(select_seconds);
     if (batch.empty()) break;  // Candidate pool exhausted.
 
     SessionStep step;
     step.select_seconds = select_seconds;
 
-    for (ItemId item : batch) {
-      auto answer = oracle_->Answer(db_, item, truth_, rng_);
-      step.oracle_retries += oracle_->last_attempts() - 1;
-      if (!answer.ok()) {
-        if (options_.skip_unanswerable &&
-            IsSkippableOracleFailure(answer.status().code())) {
-          // Graceful degradation: remember the item so the strategy moves to
-          // its next-best suggestion instead of re-proposing it forever.
-          step.skipped.push_back(item);
-          trace.skipped_items.push_back(item);
-          skipped_set.insert(item);
-          continue;
+    {
+      VERITAS_SPAN("session.oracle");
+      Timer oracle_timer;
+      for (ItemId item : batch) {
+        auto answer = oracle_->Answer(db_, item, truth_, rng_);
+        // Fold the retry accrual in as retries happen: a round that aborts
+        // below must not drop the attempts already spent (they are visible
+        // through the registry even when the trace is discarded).
+        const std::size_t retries = oracle_->last_attempts() - 1;
+        step.oracle_retries += retries;
+        trace.total_oracle_retries += retries;
+        retries_counter->Add(retries);
+        if (!answer.ok()) {
+          if (options_.skip_unanswerable &&
+              IsSkippableOracleFailure(answer.status().code())) {
+            // Graceful degradation: remember the item so the strategy moves
+            // to its next-best suggestion instead of re-proposing it forever.
+            step.skipped.push_back(item);
+            trace.skipped_items.push_back(item);
+            skipped_set.insert(item);
+            skipped_counter->Add(1);
+            continue;
+          }
+          oracle_hist->Observe(oracle_timer.ElapsedSeconds());
+          return answer.status();
         }
-        return answer.status();
+        VERITAS_RETURN_IF_ERROR(trace.priors.SetDistribution(
+            db_, item, std::move(answer).value()));
+        step.items.push_back(item);
+        ++validated;
+        validated_counter->Add(1);
       }
-      VERITAS_RETURN_IF_ERROR(
-          trace.priors.SetDistribution(db_, item, std::move(answer).value()));
-      step.items.push_back(item);
-      ++validated;
+      oracle_hist->Observe(oracle_timer.ElapsedSeconds());
     }
-    trace.total_oracle_retries += step.oracle_retries;
 
     if (!step.items.empty()) {
+      VERITAS_SPAN("session.refuse");
       Timer fuse_timer;
       FusionResult next =
           delta != nullptr && delta_base_valid
@@ -216,14 +261,19 @@ Result<SessionTrace> FeedbackSession::Run() {
               ? model_.Fuse(db_, trace.priors, options_.fusion, &fusion)
               : model_.Fuse(db_, trace.priors, options_.fusion);
       step.fuse_seconds = fuse_timer.ElapsedSeconds();
+      fuse_hist->Observe(step.fuse_seconds);
 
-      if (!next.converged()) ++trace.fusion_nonconverged_rounds;
+      if (!next.converged()) {
+        ++trace.fusion_nonconverged_rounds;
+        nonconverged_counter->Add(1);
+      }
       const bool reject_nonconverged =
           options_.rollback_on_nonconvergence && !next.converged();
       if (!next.AllFinite() || reject_nonconverged) {
         // Warm-start rollback: keep the last-good fusion instead of
         // propagating a poisoned or partial result into strategy scores.
         ++trace.fusion_fallback_rounds;
+        fallback_counter->Add(1);
         delta_base_valid = false;
       } else {
         fusion = std::move(next);
@@ -233,8 +283,11 @@ Result<SessionTrace> FeedbackSession::Run() {
 
     step.num_validated = validated;
     if (options_.record_metrics) {
+      VERITAS_SPAN("session.metrics");
+      Timer metrics_timer;
       step.distance = DistanceToGroundTruth(db_, fusion, truth_);
       step.uncertainty = Uncertainty(fusion);
+      metrics_hist->Observe(metrics_timer.ElapsedSeconds());
     }
     trace.steps.push_back(std::move(step));
     VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/false));

@@ -105,6 +105,9 @@ Status BenchJsonFile::Write(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << Render();
+  // Flush before checking so buffered-write failures (disk full) cannot
+  // escape as Status::OK().
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

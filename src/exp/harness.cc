@@ -20,6 +20,17 @@ std::vector<CurvePoint> SampleCurve(const SessionTrace& trace,
         std::ceil(fraction * static_cast<double>(conflicting)));
     CurvePoint point;
     point.fraction = fraction;
+    if (trace.steps.empty()) {
+      points.push_back(point);
+      continue;
+    }
+    // A target of zero validations is the pre-feedback baseline: every step
+    // satisfies num_validated >= 0, so scanning would misreport the state
+    // after the first batch at x = 0. Report the 0% starting point instead.
+    if (target == 0) {
+      points.push_back(point);
+      continue;
+    }
     // First step with at least `target` cumulative validations; if the trace
     // ended earlier, sample its last step.
     std::size_t idx = trace.steps.size();
@@ -28,10 +39,6 @@ std::vector<CurvePoint> SampleCurve(const SessionTrace& trace,
         idx = s;
         break;
       }
-    }
-    if (trace.steps.empty()) {
-      points.push_back(point);
-      continue;
     }
     if (idx == trace.steps.size()) idx = trace.steps.size() - 1;
     point.validated = trace.steps[idx].num_validated;

@@ -72,6 +72,7 @@ bool MaybeExportCsv(const std::string& name, const TextTable& table) {
     return false;
   }
   table.PrintCsv(out);
+  out.flush();  // Buffered-write failures must not report success.
   if (!out.good()) {
     std::cerr << "VERITAS_CSV_DIR: write failed for " << path << "\n";
     return false;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "model/compiled_database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -80,6 +82,18 @@ FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
 FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
                               const FusionOptions& opts,
                               const FusionResult* warm) const {
+  VERITAS_SPAN("fuse.accu");
+  static Counter* fuse_calls =
+      MetricsRegistry::Global().GetCounter("fusion.accu.fuse_calls");
+  static Counter* nonconverged =
+      MetricsRegistry::Global().GetCounter("fusion.accu.nonconverged");
+  static Histogram* iterations_hist = MetricsRegistry::Global().GetHistogram(
+      "fusion.accu.iterations", MetricsRegistry::CountEdges());
+  static Histogram* residual_hist = MetricsRegistry::Global().GetHistogram(
+      "fusion.accu.residual",
+      {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  fuse_calls->Add(1);
+
   const CompiledDatabase c(db);
   std::vector<double> accuracies =
       warm != nullptr ? warm->accuracies()
@@ -121,6 +135,7 @@ FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
   const std::vector<std::uint32_t>& source_claims = c.source_vote_claims();
   bool converged = false;
   std::size_t iter = 0;
+  double last_residual = 0.0;
   while (iter < opts.max_iterations) {
     ++iter;
     update_probabilities();
@@ -136,11 +151,15 @@ FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
       max_delta = std::max(max_delta, std::fabs(updated - accuracies[j]));
       accuracies[j] = updated;
     }
+    last_residual = max_delta;
     if (max_delta < opts.tolerance) {
       converged = true;
       break;
     }
   }
+  iterations_hist->Observe(static_cast<double>(iter));
+  residual_hist->Observe(last_residual);
+  if (!converged) nonconverged->Add(1);
   // Final probability pass so P is consistent with the final A.
   update_probabilities();
 

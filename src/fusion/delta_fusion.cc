@@ -6,6 +6,8 @@
 #include "fusion/accu.h"
 #include "fusion/truthfinder.h"
 #include "fusion/voting.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -351,6 +353,19 @@ FusionResult DeltaFusionEngine::FuseWithPins(const FusionResult& base,
                                              const PriorSet& priors,
                                              const std::vector<ItemId>& items,
                                              DeltaFusionStats* stats) const {
+  VERITAS_SPAN("delta.fuse_with_pins");
+  static Counter* calls =
+      MetricsRegistry::Global().GetCounter("delta.fuse_with_pins");
+  static Counter* fallbacks =
+      MetricsRegistry::Global().GetCounter("delta.fallbacks");
+  static Histogram* iterations_hist = MetricsRegistry::Global().GetHistogram(
+      "delta.iterations", MetricsRegistry::CountEdges());
+  static Histogram* touched_hist = MetricsRegistry::Global().GetHistogram(
+      "delta.touched_items", MetricsRegistry::CountEdges());
+  static Histogram* frontier_hist = MetricsRegistry::Global().GetHistogram(
+      "delta.peak_frontier", MetricsRegistry::CountEdges());
+  calls->Add(1);
+
   const BaseState state = PrepareBase(base);
   Workspace ws;
   SyncWorkspace(state, ws);
@@ -359,13 +374,22 @@ FusionResult DeltaFusionEngine::FuseWithPins(const FusionResult& base,
     const std::vector<double>& pin = priors.Get(item);
     ApplyPin(ws, item, pin.data(), pin.size());
   }
+  DeltaFusionStats local_stats;
+  DeltaFusionStats* out_stats = stats != nullptr ? stats : &local_stats;
   bool conv = false;
   std::size_t iters = 0;
   if (!Propagate(ws, priors, kInvalidItem, /*enforce_coverage=*/true, &conv,
-                 &iters, stats)) {
-    if (stats != nullptr) stats->fell_back = true;
+                 &iters, out_stats)) {
+    out_stats->fell_back = true;
+    fallbacks->Add(1);
+    iterations_hist->Observe(static_cast<double>(out_stats->iterations));
+    touched_hist->Observe(static_cast<double>(out_stats->touched_items));
+    frontier_hist->Observe(static_cast<double>(out_stats->peak_frontier));
     return model_.Fuse(db_, priors, fusion_opts_, &base);
   }
+  iterations_hist->Observe(static_cast<double>(out_stats->iterations));
+  touched_hist->Observe(static_cast<double>(out_stats->touched_items));
+  frontier_hist->Observe(static_cast<double>(out_stats->peak_frontier));
   FusionResult out = base;
   const CompiledDatabase& c = compiled_;
   for (ItemId i : ws.touched_items_) {
@@ -387,6 +411,12 @@ double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
                                                const PriorSet& priors,
                                                ItemId item, ClaimIndex claim,
                                                DeltaFusionStats* stats) const {
+  // The MEU inner loop: instrumentation here is a single relaxed atomic add
+  // (no span, no histogram) so thousands of lookahead pins per select stay
+  // cheap with metrics always on.
+  static Counter* lookahead_pins =
+      MetricsRegistry::Global().GetCounter("delta.lookahead_pins");
+  lookahead_pins->Add(1);
   const CompiledDatabase& c = compiled_;
   // First sight of this base: copy it into the flat working arrays. Later
   // calls only pay for what they touch (and restore below).

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "model/compiled_database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -20,6 +22,18 @@ FusionResult TruthFinderFusion::Fuse(const Database& db,
                                      const PriorSet& priors,
                                      const FusionOptions& opts,
                                      const FusionResult* warm) const {
+  VERITAS_SPAN("fuse.truthfinder");
+  static Counter* fuse_calls =
+      MetricsRegistry::Global().GetCounter("fusion.truthfinder.fuse_calls");
+  static Counter* nonconverged =
+      MetricsRegistry::Global().GetCounter("fusion.truthfinder.nonconverged");
+  static Histogram* iterations_hist = MetricsRegistry::Global().GetHistogram(
+      "fusion.truthfinder.iterations", MetricsRegistry::CountEdges());
+  static Histogram* residual_hist = MetricsRegistry::Global().GetHistogram(
+      "fusion.truthfinder.residual",
+      {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  fuse_calls->Add(1);
+
   const CompiledDatabase c(db);
   std::vector<double> trust =
       warm != nullptr ? warm->accuracies()
@@ -48,6 +62,7 @@ FusionResult TruthFinderFusion::Fuse(const Database& db,
 
   bool converged = false;
   std::size_t iter = 0;
+  double last_residual = 0.0;
   while (iter < opts.max_iterations) {
     ++iter;
     // Claim confidences -> per-item distributions.
@@ -84,11 +99,15 @@ FusionResult TruthFinderFusion::Fuse(const Database& db,
       max_delta = std::max(max_delta, std::fabs(updated - trust[j]));
       trust[j] = updated;
     }
+    last_residual = max_delta;
     if (max_delta < opts.tolerance) {
       converged = true;
       break;
     }
   }
+  iterations_hist->Observe(static_cast<double>(iter));
+  residual_hist->Observe(last_residual);
+  if (!converged) nonconverged->Add(1);
 
   FusionResult result(db, opts.initial_accuracy);
   for (ItemId i = 0; i < c.num_items(); ++i) {

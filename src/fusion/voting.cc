@@ -1,5 +1,7 @@
 #include "fusion/voting.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -15,6 +17,10 @@ std::vector<double> VotingFusion::VoteShares(const Database& db, ItemId item) {
 
 FusionResult VotingFusion::Fuse(const Database& db, const PriorSet& priors,
                                 const FusionOptions& opts) const {
+  VERITAS_SPAN("fuse.voting");
+  static Counter* fuse_calls =
+      MetricsRegistry::Global().GetCounter("fusion.voting.fuse_calls");
+  fuse_calls->Add(1);
   FusionResult result(db, opts.initial_accuracy);
   for (ItemId i = 0; i < db.num_items(); ++i) {
     std::vector<double>* probs = result.mutable_item_probs(i);

@@ -1,0 +1,269 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace veritas {
+
+namespace {
+
+// JSON number rendering shared with the bench writer's conventions: finite
+// shortest-ish doubles, null for NaN/Inf (JSON has neither).
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Gauge::Set(double v) {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(expected) + delta;
+    if (bits_.compare_exchange_weak(expected,
+                                    std::bit_cast<std::uint64_t>(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::Reset() { Set(0.0); }
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  if (edges_.size() > 64) edges_.resize(64);  // Bounded-bucket guarantee.
+  buckets_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper edge is >= value; past the last edge lands in
+  // the overflow bucket. edges_ is immutable, so the search needs no lock.
+  const std::size_t bucket =
+      std::lower_bound(edges_.begin(), edges_.end(), value) - edges_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+  // Welford: numerically stable running mean / M2.
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.mean = mean_;
+  snap.stddev =
+      count_ > 0 ? std::sqrt(m2_ / static_cast<double>(count_)) : 0.0;
+  snap.min = min_;
+  snap.max = max_;
+  snap.edges = edges_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments must outlive every static destructor
+  // that might still record into them.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::vector<double> MetricsRegistry::LatencyEdges() {
+  // 1us .. ~100s, quarter-decade spacing: 33 finite buckets.
+  std::vector<double> edges;
+  for (double e = 1e-6; e < 200.0; e *= 3.1622776601683795) {
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<double> MetricsRegistry::CountEdges() {
+  std::vector<double> edges;
+  for (double e = 1.0; e < 2e6; e *= 4.0) edges.push_back(e);
+  return edges;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(std::move(edges)));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << Snapshot().ToJson();
+  out.flush();  // Surface buffered-write failures before reporting OK.
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+double MetricsSnapshot::Value(const std::string& name, double fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return static_cast<double>(v);
+  }
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return static_cast<double>(h.count);
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    " << JsonString(counters[i].first)
+        << ": " << counters[i].second;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    " << JsonString(gauges[i].first)
+        << ": " << JsonNumber(gauges[i].second);
+  }
+  out << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i].second;
+    out << (i == 0 ? "" : ",") << "\n    " << JsonString(histograms[i].first)
+        << ": {\"count\": " << h.count << ", \"sum\": " << JsonNumber(h.sum)
+        << ", \"mean\": " << JsonNumber(h.mean)
+        << ", \"stddev\": " << JsonNumber(h.stddev)
+        << ", \"min\": " << JsonNumber(h.min)
+        << ", \"max\": " << JsonNumber(h.max) << ", \"edges\": [";
+    for (std::size_t e = 0; e < h.edges.size(); ++e) {
+      out << (e == 0 ? "" : ", ") << JsonNumber(h.edges[e]);
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << name << " = " << JsonNumber(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << name << " = {count=" << h.count << " mean=" << JsonNumber(h.mean)
+        << " stddev=" << JsonNumber(h.stddev) << " min=" << JsonNumber(h.min)
+        << " max=" << JsonNumber(h.max) << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace veritas

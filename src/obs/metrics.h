@@ -1,0 +1,158 @@
+// MetricsRegistry: thread-safe named counters, gauges and bounded-bucket
+// histograms for the serving/observability layer. Every hot path (session
+// phases, fusion iterations, delta-fusion frontiers, strategy lookaheads,
+// oracle retries) funnels its numbers here instead of keeping bespoke
+// structs, so one snapshot — JSON for dashboards, text for terminals —
+// answers "where did the time and the convergence failures go".
+//
+// Design constraints:
+//   * Instruments are created once and never destroyed; the pointers
+//     returned by Get* stay valid for the process lifetime, so call sites
+//     can cache them in function-local statics and pay one atomic op per
+//     event on the hot path.
+//   * Reset() zeroes values but keeps the instruments, so cached pointers
+//     survive (tests and benchmark sections reset between phases).
+//   * Counters and gauges are lock-free; histograms take a per-instrument
+//     mutex (they are observed at phase granularity, not per claim).
+#ifndef VERITAS_OBS_METRICS_H_
+#define VERITAS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace veritas {
+
+/// Monotonically increasing integer metric. Lock-free.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double metric (also supports Add). Lock-free via CAS.
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset();
+  std::atomic<std::uint64_t> bits_{0};  // bit-pattern of a double
+};
+
+/// Point-in-time view of a histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population stddev (Welford).
+  double min = 0.0;     ///< Meaningless when count == 0.
+  double max = 0.0;
+  std::vector<double> edges;           ///< Upper bounds, ascending.
+  std::vector<std::uint64_t> buckets;  ///< edges.size() + 1 (overflow last).
+};
+
+/// Bounded-bucket histogram with exact Welford mean/stddev. A value lands in
+/// the first bucket whose upper edge is >= value; values above the last edge
+/// land in the implicit overflow bucket.
+class Histogram {
+ public:
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  std::uint64_t count() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> edges);
+  void Reset();
+
+  mutable std::mutex mu_;
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Consistent point-in-time view of every instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// The counter/gauge value or histogram count for `name`, or `fallback`.
+  double Value(const std::string& name, double fallback = 0.0) const;
+  /// The histogram snapshot for `name`, or nullptr.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, mean, stddev, min, max, sum,
+  /// edges: [...], buckets: [...]}}}.
+  std::string ToJson() const;
+  /// Aligned human-readable dump, one instrument per line.
+  std::string ToText() const;
+};
+
+/// Named-instrument registry. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrument lives in.
+  static MetricsRegistry& Global();
+
+  /// Exponentially spaced latency edges, 1us .. ~100s (seconds).
+  static std::vector<double> LatencyEdges();
+  /// Exponentially spaced count edges, 1 .. ~1e6.
+  static std::vector<double> CountEdges();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `edges` must be ascending; only the first Get for a name sets them
+  /// (later calls return the existing instrument unchanged). At most 64
+  /// finite edges are kept so the histogram stays bounded.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> edges = LatencyEdges());
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every value; instruments (and pointers to them) survive.
+  void Reset();
+  /// Snapshot().ToJson() to a file, fsync-checked.
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_OBS_METRICS_H_

@@ -1,0 +1,36 @@
+#include "obs/obs_flags.h"
+
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace veritas {
+
+ObsOutputs ScanObsFlags(int argc, char** argv) {
+  ObsOutputs outputs;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out") outputs.metrics_path = argv[i + 1];
+    if (arg == "--trace-out") outputs.trace_path = argv[i + 1];
+  }
+  if (!outputs.trace_path.empty()) TraceRecorder::Global().Enable();
+  return outputs;
+}
+
+Status WriteObsOutputs(const ObsOutputs& outputs) {
+  if (!outputs.metrics_path.empty()) {
+    VERITAS_RETURN_IF_ERROR(
+        MetricsRegistry::Global().WriteJsonFile(outputs.metrics_path));
+    std::cout << "wrote metrics snapshot to " << outputs.metrics_path << "\n";
+  }
+  if (!outputs.trace_path.empty()) {
+    VERITAS_RETURN_IF_ERROR(
+        TraceRecorder::Global().WriteChromeJson(outputs.trace_path));
+    std::cout << "wrote Chrome trace to " << outputs.trace_path
+              << " (open in Perfetto or chrome://tracing)\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace veritas

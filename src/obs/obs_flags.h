@@ -1,0 +1,31 @@
+// Shared --metrics-out / --trace-out handling for veritas_cli and the bench
+// binaries: scan argv once up front (enabling the trace recorder before any
+// instrumented code runs), then write the snapshot/trace at the end.
+#ifndef VERITAS_OBS_OBS_FLAGS_H_
+#define VERITAS_OBS_OBS_FLAGS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace veritas {
+
+/// Observability output destinations ("" = off).
+struct ObsOutputs {
+  std::string metrics_path;  ///< MetricsRegistry snapshot, JSON.
+  std::string trace_path;    ///< Chrome trace_event JSON (Perfetto).
+};
+
+/// Scans argv for `--metrics-out <path>` and `--trace-out <path>` and
+/// enables the global TraceRecorder when a trace path is present. Does not
+/// consume the flags; callers that parse argv themselves should ignore them.
+ObsOutputs ScanObsFlags(int argc, char** argv);
+
+/// Writes whichever outputs are configured (metrics snapshot of the global
+/// registry, merged trace of the global recorder). Paths left empty are
+/// skipped. Prints a one-line confirmation per file to stdout.
+Status WriteObsOutputs(const ObsOutputs& outputs);
+
+}  // namespace veritas
+
+#endif  // VERITAS_OBS_OBS_FLAGS_H_

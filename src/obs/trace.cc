@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace veritas {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Micros(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us < 0.0 ? 0.0 : us);
+  return buf;
+}
+
+// Per-thread cache of the buffer registered with a specific recorder.
+// Switching a thread between recorders re-registers (a fresh buffer is
+// appended to the new recorder); only tests do that, and Flush still sees
+// every buffer, so the cost is a little memory, never lost events. The key
+// is a process-unique recorder id, NOT the recorder's address: a destroyed
+// recorder's address can be recycled by a new one, which would make a stale
+// cache entry look current and dangle into freed buffers.
+std::atomic<std::uint64_t> next_recorder_id{1};
+struct TlsSlot {
+  std::uint64_t owner_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked: spans may still close in static destructors.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+double TraceRecorder::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  if (tls_slot.owner_id == id_) {
+    return static_cast<ThreadBuffer*>(tls_slot.buffer);
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  tls_slot.owner_id = id_;
+  tls_slot.buffer = buffer.get();  // buffers_ keeps it alive past thread exit.
+  return buffer.get();
+}
+
+void TraceRecorder::RecordSpan(const char* name, const char* category,
+                               double ts_us, double dur_us) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Flush() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> merged;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return merged;
+}
+
+void TraceRecorder::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Flush();
+  std::ostringstream out;
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+        << JsonEscape(e.name) << "\", \"cat\": \"" << JsonEscape(e.category)
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << Micros(e.ts_us) << ", \"dur\": " << Micros(e.dur_us)
+        << "}";
+  }
+  out << (events.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << ToChromeJson();
+  out.flush();  // Surface buffered-write failures before reporting OK.
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace veritas

@@ -1,0 +1,120 @@
+// TraceRecorder: scoped spans exported as Chrome trace_event JSON, loadable
+// in Perfetto / chrome://tracing. Instrumented code wraps a region in
+// VERITAS_SPAN("fuse") (RAII); each thread appends completed spans to its
+// own buffer, and Flush/WriteChromeJson merges the buffers into one
+// timeline. Recording is off by default: a disabled recorder costs one
+// relaxed atomic load per span site, so the instrumentation can stay in the
+// hot paths permanently.
+#ifndef VERITAS_OBS_TRACE_H_
+#define VERITAS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace veritas {
+
+/// One completed span, Chrome "X" (complete) event semantics.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   ///< Start, microseconds since the recorder epoch.
+  double dur_us = 0.0;  ///< Duration, microseconds.
+  std::uint32_t tid = 0;
+};
+
+/// Thread-safe span sink. Usable as an instance (tests) or through the
+/// process-wide Global() every VERITAS_SPAN records into.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  /// Runtime switch. Spans opened while disabled record nothing even if the
+  /// recorder is enabled before they close.
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder's construction (monotonic).
+  double NowMicros() const;
+
+  /// Appends one completed span to the calling thread's buffer. No-op when
+  /// disabled.
+  void RecordSpan(const char* name, const char* category, double ts_us,
+                  double dur_us);
+
+  /// Merges every per-thread buffer into one start-time-ordered list.
+  /// Buffers keep their events (Flush is read-only); Clear drops them.
+  std::vector<TraceEvent> Flush() const;
+  void Clear();
+
+  /// {"displayTimeUnit": "ms", "traceEvents": [...]} — the Chrome
+  /// trace_event array format Perfetto and chrome://tracing load directly.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer (created and registered on first use).
+  ThreadBuffer* LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t id_;  ///< Process-unique; TLS cache key (addresses recycle).
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint32_t> next_tid_{1};
+  mutable std::mutex mu_;  // Guards buffers_ (the list, not the events).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span against the global recorder. When the recorder is disabled at
+/// construction the destructor does nothing — one atomic load of overhead.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "veritas")
+      : recorder_(&TraceRecorder::Global()) {
+    if (recorder_->enabled()) {
+      name_ = name;
+      category_ = category;
+      start_us_ = recorder_->NowMicros();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      recorder_->RecordSpan(name_, category_, start_us_,
+                            recorder_->NowMicros() - start_us_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_ = nullptr;  // Null = span not active (disabled).
+  const char* category_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+#define VERITAS_SPAN_CONCAT_INNER(a, b) a##b
+#define VERITAS_SPAN_CONCAT(a, b) VERITAS_SPAN_CONCAT_INNER(a, b)
+/// Scoped span over the rest of the enclosing block.
+#define VERITAS_SPAN(name) \
+  ::veritas::ScopedSpan VERITAS_SPAN_CONCAT(veritas_span_, __LINE__)(name)
+
+}  // namespace veritas
+
+#endif  // VERITAS_OBS_TRACE_H_

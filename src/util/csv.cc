@@ -6,34 +6,48 @@
 
 namespace veritas {
 
+namespace {
+
+// Feeds one physical line into a partially parsed row. A quote left open at
+// the end of the line means the row continues on the next physical line
+// (the field contains an embedded newline); the caller re-feeds with the
+// same state. Does not push the trailing field — the caller does that once
+// the row is complete.
+void ConsumeCsvLine(std::string_view line, char delim, CsvRow* row,
+                    std::string* field, bool* in_quotes) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (*in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field->push_back('"');
+          ++i;
+        } else {
+          *in_quotes = false;
+        }
+      } else {
+        field->push_back(c);
+      }
+    } else if (c == '"' && field->empty()) {
+      *in_quotes = true;
+    } else if (c == delim) {
+      row->push_back(std::move(*field));
+      field->clear();
+    } else if (c == '\r') {
+      // Ignore stray carriage returns from CRLF files.
+    } else {
+      field->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
 CsvRow ParseCsvLine(std::string_view line, char delim) {
   CsvRow out;
   std::string field;
   bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field.push_back(c);
-      }
-    } else if (c == '"' && field.empty()) {
-      in_quotes = true;
-    } else if (c == delim) {
-      out.push_back(std::move(field));
-      field.clear();
-    } else if (c == '\r') {
-      // Ignore stray carriage returns from CRLF files.
-    } else {
-      field.push_back(c);
-    }
-  }
+  ConsumeCsvLine(line, delim, &out, &field, &in_quotes);
   out.push_back(std::move(field));
   return out;
 }
@@ -71,11 +85,34 @@ Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path, char delim) {
     return Status::IoError("cannot open file: " + path);
   }
   std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
   std::string line;
   while (std::getline(in, line)) {
-    const std::string trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    rows.push_back(ParseCsvLine(line, delim));
+    // Comment/blank skipping applies only between rows: inside an open
+    // quoted field these are literal content of the row being continued.
+    if (!in_quotes) {
+      const std::string trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+    }
+    ConsumeCsvLine(line, delim, &row, &field, &in_quotes);
+    if (in_quotes) {
+      // WriteCsvFile escaped an embedded newline into a quoted field; the
+      // getline boundary is part of the field, and the row goes on.
+      field.push_back('\n');
+      continue;
+    }
+    row.push_back(std::move(field));
+    field.clear();
+    rows.push_back(std::move(row));
+    row.clear();
+  }
+  // Unterminated quote at EOF: keep the partial row rather than drop data
+  // (mirrors the lenient line parser, which closes the field at line end).
+  if (in_quotes || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
   }
   return rows;
 }
@@ -89,6 +126,9 @@ Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
   for (const CsvRow& row : rows) {
     out << FormatCsvRow(row, delim) << '\n';
   }
+  // Flush before checking: a buffered write that only fails at flush time
+  // (disk full) must not report OK.
+  out.flush();
   if (!out.good()) {
     return Status::IoError("write failed: " + path);
   }

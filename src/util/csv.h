@@ -26,7 +26,10 @@ std::string EscapeCsvField(std::string_view field, char delim = ',');
 /// Serializes a row.
 std::string FormatCsvRow(const CsvRow& row, char delim = ',');
 
-/// Reads an entire CSV file. Skips blank lines and lines starting with '#'.
+/// Reads an entire CSV file. Skips blank lines and lines starting with '#'
+/// (only between rows); a quoted field left open at a line break continues
+/// the row across physical lines, so WriteCsvFile output with embedded
+/// newlines round-trips.
 Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
                                         char delim = ',');
 

@@ -11,6 +11,7 @@
 #include "data/example_data.h"
 #include "data/synthetic.h"
 #include "fusion/accu.h"
+#include "obs/metrics.h"
 
 namespace veritas {
 namespace {
@@ -193,6 +194,61 @@ TEST_F(ResilientOracleTest, SessionWithRetriesRecordsRetryCounts) {
   EXPECT_TRUE(trace->skipped_items.empty());  // Retries rescued every item.
   EXPECT_EQ(trace->priors.size(), 5u);
   EXPECT_EQ(trace->steps.front().oracle_retries, 2u);
+}
+
+TEST_F(ResilientOracleTest, RetriesAccrueEvenWhenTheRoundAborts) {
+  // Regression: retry accrual used to be folded into the trace only after a
+  // whole batch succeeded, so a round that aborted dropped every retry
+  // already spent. The trace itself is discarded on abort (Run returns the
+  // error), so the registry counter is the surviving observable.
+  MetricsRegistry::Global().Reset();
+  QbcStrategy strategy;
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.fail_first_n = 100;  // Permanent outage: retries always exhaust.
+  FlakyOracle flaky(&inner, plan);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.0;
+  RetryingOracle oracle(&flaky, policy);
+  SessionOptions options;
+  options.skip_unanswerable = false;  // Exhaustion aborts the round.
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kUnavailable);
+  // The aborting item burned max_attempts - 1 = 2 retries; they must be
+  // visible despite the abort.
+  EXPECT_EQ(oracle.stats().total_retries, 2u);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.Value("session.oracle_retries"), 2.0);
+  EXPECT_EQ(snap.Value("oracle.retry.retries"), 2.0);
+  EXPECT_EQ(snap.Value("oracle.retry.exhausted"), 1.0);
+}
+
+TEST_F(ResilientOracleTest, SkippedItemRetriesStayCounted) {
+  // A skippable failure mid-batch (abstention after retries on transient
+  // faults elsewhere) must keep the per-step retry count it accrued.
+  MetricsRegistry::Global().Reset();
+  QbcStrategy strategy;
+  PerfectOracle inner;
+  FaultPlan plan;
+  plan.fail_first_n = 2;  // First item: two transient faults, then success.
+  FlakyOracle flaky(&inner, plan);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.0;
+  RetryingOracle oracle(&flaky, policy);
+  SessionOptions options;
+  FeedbackSession session(db_, model_, &strategy, &oracle, truth_, options,
+                          &rng_);
+  const auto trace = session.Run();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->total_oracle_retries, 2u);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.Value("session.oracle_retries"),
+            static_cast<double>(trace->total_oracle_retries));
 }
 
 TEST_F(ResilientOracleTest, SkipDisabledSurfacesTheTransientError) {

@@ -77,6 +77,25 @@ TEST(SampleCurveTest, ShortTraceSamplesLastStep) {
   EXPECT_EQ(points[0].validated, 3u);
 }
 
+TEST(SampleCurveTest, ZeroFractionReportsBaseline) {
+  SessionTrace trace;
+  trace.initial_distance = 1.0;
+  trace.initial_uncertainty = 2.0;
+  SessionStep step;
+  step.num_validated = 4;
+  step.distance = 0.5;
+  step.uncertainty = 1.0;
+  trace.steps.push_back(step);
+  const auto points = SampleCurve(trace, /*conflicting=*/10, {0.0, 0.4});
+  ASSERT_EQ(points.size(), 2u);
+  // x = 0 is the pre-feedback baseline, not the state after the first batch.
+  EXPECT_EQ(points[0].validated, 0u);
+  EXPECT_EQ(points[0].distance_reduction_pct, 0.0);
+  EXPECT_EQ(points[0].uncertainty_reduction_pct, 0.0);
+  EXPECT_EQ(points[1].validated, 4u);
+  EXPECT_NEAR(points[1].distance_reduction_pct, -50.0, 1e-9);
+}
+
 TEST(SampleCurveTest, EmptyTrace) {
   SessionTrace trace;
   const auto points = SampleCurve(trace, 10, {0.5});
@@ -94,6 +113,20 @@ TEST(RunCurveTest, BudgetBoundByMaxFraction) {
   ASSERT_TRUE(curve.ok());
   EXPECT_EQ(curve->trace.steps.back().num_validated, 2u);
   EXPECT_EQ(curve->points.size(), 2u);
+}
+
+TEST(RunCurveTest, LeadingZeroFractionYieldsBaselinePoint) {
+  const Database db = MakeMovieDatabase();
+  const GroundTruth truth = MakeMovieGroundTruth(db);
+  AccuFusion model;
+  CurveOptions options;
+  options.report_fractions = {0.0, 0.4};
+  const auto curve = RunCurvePerfect(db, truth, model, "qbc", options);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->points.size(), 2u);
+  EXPECT_EQ(curve->points[0].validated, 0u);
+  EXPECT_EQ(curve->points[0].distance_reduction_pct, 0.0);
+  EXPECT_GT(curve->points[1].validated, 0u);
 }
 
 TEST(RunCurveTest, UnknownStrategyPropagates) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
+
 namespace veritas {
 namespace {
 
@@ -86,6 +88,56 @@ TEST_F(CsvFileTest, SkipsCommentsAndBlankLines) {
   ASSERT_EQ(read->size(), 2u);
   EXPECT_EQ((*read)[0][0], "a");
   EXPECT_EQ((*read)[1][1], "d");
+}
+
+TEST_F(CsvFileTest, MultiLineQuotedFieldRoundTrips) {
+  const std::vector<CsvRow> rows = {
+      {"s1", "line one\nline two", "v1"},
+      {"s2", "a,b\n\"quoted\"\nend", "v2"},
+  };
+  ASSERT_TRUE(WriteCsvFile(path_, rows).ok());
+  const auto read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+}
+
+TEST_F(CsvFileTest, CommentInsideOpenQuoteIsContent) {
+  std::ofstream out(path_);
+  out << "a,\"x\n# not a comment\ny\",b\n# real comment\nc,d,e\n";
+  out.close();
+  const auto read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0][1], "x\n# not a comment\ny");
+  EXPECT_EQ((*read)[1][0], "c");
+}
+
+TEST_F(CsvFileTest, RandomRowsRoundTrip) {
+  // Property check: any table WriteCsvFile emits, ReadCsvFile must parse
+  // back verbatim — including fields with delimiters, quotes and embedded
+  // newlines. First fields are kept non-empty and non-'#' so no formatted
+  // line is mistakable for a blank/comment line between rows.
+  const std::string charset = "ab,\"\n |;#x ";
+  Rng rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<CsvRow> rows(1 + rng.UniformIndex(6));
+    for (CsvRow& row : rows) {
+      row.resize(1 + rng.UniformIndex(4));
+      for (std::size_t f = 0; f < row.size(); ++f) {
+        std::string field;
+        const std::size_t len = rng.UniformIndex(8);
+        for (std::size_t i = 0; i < len; ++i) {
+          field.push_back(charset[rng.UniformIndex(charset.size())]);
+        }
+        row[f] = std::move(field);
+      }
+      row[0] = "r" + row[0];
+    }
+    ASSERT_TRUE(WriteCsvFile(path_, rows).ok());
+    const auto read = ReadCsvFile(path_);
+    ASSERT_TRUE(read.ok());
+    ASSERT_EQ(*read, rows) << "trial " << trial;
+  }
 }
 
 TEST_F(CsvFileTest, MissingFileIsIoError) {

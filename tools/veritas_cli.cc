@@ -31,6 +31,8 @@
 #include "exp/report.h"
 #include "fusion/accu.h"
 #include "fusion/fusion_factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/args.h"
 #include "util/csv.h"
 
@@ -52,7 +54,8 @@ void PrintUsage() {
       "               [--model accu] [--threads 1] [--no-delta]\n"
       "               [--flaky <p|plan>] [--retries 3]\n"
       "               [--checkpoint ckpt] [--checkpoint-every 1]\n"
-      "               [--resume ckpt]\n"
+      "               [--resume ckpt] [--steps-out steps.csv]\n"
+      "               [--metrics-out metrics.json] [--trace-out trace.json]\n"
       "  generate     [--shape dense|longtail] [--items 500] [--sources 38]\n"
       "               [--density 0.4] [--copiers 0] [--seed 42]\n"
       "               --out obs.csv [--truth-out truth.csv]\n"
@@ -179,6 +182,12 @@ Status RunRank(const ArgMap& args) {
 }
 
 Status RunSession(const ArgMap& args) {
+  // Observability sinks. The trace recorder must be live before any
+  // instrumented code runs, so this precedes the session construction.
+  const std::string metrics_out = args.GetString("metrics-out");
+  const std::string chrome_trace_out = args.GetString("trace-out");
+  if (!chrome_trace_out.empty()) TraceRecorder::Global().Enable();
+
   VERITAS_ASSIGN_OR_RETURN(Database db, RequireData(args));
   VERITAS_ASSIGN_OR_RETURN(GroundTruth truth, RequireTruth(args, db));
   VERITAS_ASSIGN_OR_RETURN(long threads, args.GetInt("threads", 1));
@@ -251,10 +260,21 @@ Status RunSession(const ArgMap& args) {
   std::cout << "initial: distance=" << Num(trace.initial_distance, 4)
             << " uncertainty=" << Num(trace.initial_uncertainty, 3) << "\n";
   table.Print(std::cout);
-  const std::string trace_out = args.GetString("trace-out");
-  if (!trace_out.empty()) {
-    VERITAS_RETURN_IF_ERROR(WriteTraceCsv(trace, db, trace_out));
-    std::cout << "wrote per-step trace to " << trace_out << "\n";
+  const std::string steps_out = args.GetString("steps-out");
+  if (!steps_out.empty()) {
+    VERITAS_RETURN_IF_ERROR(WriteTraceCsv(trace, db, steps_out));
+    std::cout << "wrote per-step trace to " << steps_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    VERITAS_RETURN_IF_ERROR(
+        MetricsRegistry::Global().WriteJsonFile(metrics_out));
+    std::cout << "wrote metrics snapshot to " << metrics_out << "\n";
+  }
+  if (!chrome_trace_out.empty()) {
+    VERITAS_RETURN_IF_ERROR(
+        TraceRecorder::Global().WriteChromeJson(chrome_trace_out));
+    std::cout << "wrote Chrome trace to " << chrome_trace_out
+              << " (open in Perfetto or chrome://tracing)\n";
   }
   if (!trace.steps.empty()) {
     std::cout << "final distance reduction: "
