@@ -149,6 +149,12 @@ std::vector<double> ApproxMeuStrategy::ScoreCandidates(
   gains.reserve(candidates.size());
   std::vector<ItemId> neighbors;
   for (ItemId i : candidates) {
+    // Hard stop: abandon the scan, keeping `gains` parallel to `candidates`
+    // for TopKByScore (the session discards the round anyway).
+    if (HardStopRequested(ctx.cancel)) {
+      gains.resize(candidates.size(), 0.0);
+      break;
+    }
     ctx.graph->CollectNeighbors(i, &neighbors);
     double expected = 0.0;
     for (ClaimIndex t = 0; t < db.num_claims(i); ++t) {

@@ -70,6 +70,8 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
   const std::size_t workers = std::min(num_threads_, candidates.size());
   if (workers <= 1) {
     for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+      // Hard stop: abandon the scan (the session discards the round).
+      if (HardStopRequested(ctx.cancel)) break;
       gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
     }
   } else {
@@ -82,7 +84,7 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
       Timer busy;
       while (true) {
         const std::size_t idx = next.fetch_add(1);
-        if (idx >= candidates.size()) break;
+        if (idx >= candidates.size() || HardStopRequested(ctx.cancel)) break;
         gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
       }
       busy_seconds[worker] = busy.ElapsedSeconds();

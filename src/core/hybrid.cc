@@ -70,6 +70,9 @@ std::vector<ItemId> ApproxMeuKStrategy::SelectBatch(const StrategyContext& ctx,
   const std::vector<ItemId> candidates = FilterCandidates(ctx, k_percent_);
   kept_hist->Observe(static_cast<double>(candidates.size()));
   if (candidates.empty()) return candidates;
+  // Hard stop between the filter and the (expensive) impact scoring; the
+  // scoring loop itself polls the token per candidate.
+  if (HardStopRequested(ctx.cancel)) return {};
   // Impact computation is restricted to the same top-k% set (§B.3: "We
   // compute only the impact of these ... data items on each other").
   std::vector<bool> impact_filter(ctx.db->num_items(), false);

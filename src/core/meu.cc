@@ -94,6 +94,9 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
   if (workers <= 1) {
     DeltaFusionEngine::Workspace ws;
     for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+      // Hard stop: abandon the scan. The truncated gains are never recorded
+      // — the session discards the round — so the zero-filled tail is fine.
+      if (HardStopRequested(ctx.cancel)) break;
       // Delta EU_i of Eq. (7): current entropy minus expected entropy.
       gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
     }
@@ -109,7 +112,7 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
       DeltaFusionEngine::Workspace ws;
       while (true) {
         const std::size_t idx = next.fetch_add(1);
-        if (idx >= candidates.size()) break;
+        if (idx >= candidates.size() || HardStopRequested(ctx.cancel)) break;
         gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
       }
       busy_seconds[worker] = busy.ElapsedSeconds();

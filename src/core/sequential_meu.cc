@@ -84,17 +84,22 @@ std::vector<ItemId> SequentialMeuStrategy::SelectBatch(
         ctx.delta->PrepareBase(*ctx.fusion);
     DeltaFusionEngine::Workspace ws;
     for (ItemId i : candidates) {
+      // Hard stop: abandon the scan, padding `myopic_gains` so it stays
+      // parallel to `candidates` (the session discards the round).
+      if (HardStopRequested(ctx.cancel)) break;
       myopic_gains.push_back(
           current_entropy -
           MeuStrategy::ExpectedEntropyAfterValidation(ctx, i, base, ws));
     }
   } else {
     for (ItemId i : candidates) {
+      if (HardStopRequested(ctx.cancel)) break;
       myopic_gains.push_back(
           current_entropy -
           MeuStrategy::ExpectedEntropyAfterValidation(ctx, i));
     }
   }
+  myopic_gains.resize(candidates.size(), 0.0);
   const std::vector<ItemId> beam =
       TopKByScore(candidates, myopic_gains, options_.beam_width);
 
@@ -102,10 +107,12 @@ std::vector<ItemId> SequentialMeuStrategy::SelectBatch(
   std::vector<double> two_step_gains;
   two_step_gains.reserve(beam.size());
   for (ItemId i : beam) {
+    if (HardStopRequested(ctx.cancel)) break;
     two_step_gains.push_back(
         current_entropy -
         TwoStepExpectedEntropy(ctx, i, options_.inner_beam));
   }
+  two_step_gains.resize(beam.size(), 0.0);
   std::vector<ItemId> ranked_beam =
       TopKByScore(beam, two_step_gains, beam.size());
 

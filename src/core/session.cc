@@ -98,10 +98,23 @@ Result<SessionTrace> FeedbackSession::Run() {
   static Histogram* metrics_hist = reg.GetHistogram("session.metrics_seconds");
   static Histogram* checkpoint_hist =
       reg.GetHistogram("session.checkpoint_seconds");
+  static Counter* interrupted_counter =
+      reg.GetCounter("session.interrupted_runs");
 
   SessionTrace trace;
   strategy_->Reset();
   const ItemGraph graph(db_);
+
+  // Cooperative stop plumbing: the fusion models and strategies see the
+  // same token, so a hard stop drains the inner loops promptly while a
+  // graceful stop (or deadline expiry) waits for the round boundary.
+  options_.fusion.cancel = options_.cancel;
+  const auto graceful_stop = [this] {
+    return StopRequested(options_.cancel) || options_.deadline.expired();
+  };
+  const auto hard_stop = [this] {
+    return HardStopRequested(options_.cancel);
+  };
 
   // Incremental re-fusion engine, shared by the strategy lookaheads and the
   // post-feedback re-fuse. Null when the model has no local-update structure
@@ -157,12 +170,17 @@ Result<SessionTrace> FeedbackSession::Run() {
   }
 
   std::size_t rounds_since_checkpoint = 0;
+  // Whether the in-memory trace has advanced past what is on disk. Keeps a
+  // graceful stop from rotating a duplicate snapshot through the recovery
+  // chain when the forced checkpoint would rewrite identical state.
+  bool checkpoint_dirty = true;
   const auto maybe_checkpoint = [&](bool force) -> Status {
     if (options_.checkpoint_path.empty()) return Status::OK();
     if (!force &&
         ++rounds_since_checkpoint < options_.checkpoint_every_rounds) {
       return Status::OK();
     }
+    if (!checkpoint_dirty) return Status::OK();
     rounds_since_checkpoint = 0;
     VERITAS_SPAN("session.checkpoint");
     Timer checkpoint_timer;
@@ -181,10 +199,35 @@ Result<SessionTrace> FeedbackSession::Run() {
     cp.oracle_state = oracle_->SerializeState();
     const Status status = SaveSessionCheckpoint(cp, options_.checkpoint_path);
     checkpoint_hist->Observe(checkpoint_timer.ElapsedSeconds());
+    if (status.ok()) checkpoint_dirty = false;
     return status;
   };
 
+  // Builds the DeadlineExceeded status every stop path returns. Mentions the
+  // resume point so an operator (or the CLI) can relay it.
+  const auto interrupted = [&]() -> Status {
+    interrupted_counter->Add(1);
+    std::ostringstream msg;
+    msg << "session interrupted (" << DescribeStop(options_.cancel,
+                                                   options_.deadline)
+        << ") after " << validated << " validations";
+    if (!options_.checkpoint_path.empty()) {
+      msg << "; resumable checkpoint at " << options_.checkpoint_path;
+    } else {
+      msg << "; no checkpoint path configured, progress was not persisted";
+    }
+    return Status::DeadlineExceeded(msg.str());
+  };
+
   while (validated < options_.max_validations) {
+    // Graceful stop (first signal, or deadline expiry): observed only here,
+    // at the round boundary, so every recorded round is bit-identical to the
+    // uninterrupted run and the forced checkpoint resumes it exactly.
+    if (graceful_stop()) {
+      VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/true));
+      return interrupted();
+    }
+
     StrategyContext ctx;
     ctx.db = &db_;
     ctx.fusion = &fusion;
@@ -198,6 +241,7 @@ Result<SessionTrace> FeedbackSession::Run() {
     ctx.include_singletons = options_.include_singletons;
     ctx.warm_start_lookahead = options_.warm_start;
     ctx.delta = delta_base_valid ? delta.get() : nullptr;
+    ctx.cancel = options_.cancel;
 
     const std::size_t want = std::min(
         options_.batch_size, options_.max_validations - validated);
@@ -211,6 +255,10 @@ Result<SessionTrace> FeedbackSession::Run() {
     }
     const double select_seconds = select_timer.ElapsedSeconds();
     select_hist->Observe(select_seconds);
+    // Hard stop first: a hard-cancelled strategy may return a truncated or
+    // empty batch, which must not be mistaken for pool exhaustion. The
+    // in-flight round is discarded; the last on-disk checkpoint stands.
+    if (hard_stop()) return interrupted();
     if (batch.empty()) break;  // Candidate pool exhausted.
 
     SessionStep step;
@@ -220,6 +268,10 @@ Result<SessionTrace> FeedbackSession::Run() {
       VERITAS_SPAN("session.oracle");
       Timer oracle_timer;
       for (ItemId item : batch) {
+        if (hard_stop()) {
+          oracle_hist->Observe(oracle_timer.ElapsedSeconds());
+          return interrupted();
+        }
         auto answer = oracle_->Answer(db_, item, truth_, rng_);
         // Fold the retry accrual in as retries happen: a round that aborts
         // below must not drop the attempts already spent (they are visible
@@ -263,6 +315,11 @@ Result<SessionTrace> FeedbackSession::Run() {
       step.fuse_seconds = fuse_timer.ElapsedSeconds();
       fuse_hist->Observe(step.fuse_seconds);
 
+      // A hard stop mid-fusion leaves `next` truncated (converged() false by
+      // construction); discard the round before it pollutes the convergence
+      // accounting or the fusion state.
+      if (hard_stop()) return interrupted();
+
       if (!next.converged()) {
         ++trace.fusion_nonconverged_rounds;
         nonconverged_counter->Add(1);
@@ -290,6 +347,7 @@ Result<SessionTrace> FeedbackSession::Run() {
       metrics_hist->Observe(metrics_timer.ElapsedSeconds());
     }
     trace.steps.push_back(std::move(step));
+    checkpoint_dirty = true;
     VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/false));
   }
 

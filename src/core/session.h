@@ -14,6 +14,7 @@
 #include "core/strategy.h"
 #include "fusion/fusion_model.h"
 #include "model/ground_truth.h"
+#include "util/cancellation.h"
 #include "util/result.h"
 
 namespace veritas {
@@ -49,8 +50,21 @@ struct SessionOptions {
   std::size_t checkpoint_every_rounds = 1;
   /// Resume from this checkpoint when the file exists; a missing file means
   /// a fresh start (so the same flags work for the first and the restarted
-  /// invocation). Corrupt checkpoints fail the run.
+  /// invocation). Corrupt checkpoints recover from the rotated chain when a
+  /// valid older generation exists; otherwise they fail the run.
   std::string resume_path;
+  /// Cooperative cancellation (not owned; may be null). A graceful stop
+  /// (CancellationToken::RequestStop, e.g. from a SIGINT handler) is
+  /// observed at round boundaries: the in-flight round completes bit-exactly,
+  /// is checkpointed, and Run returns Status::DeadlineExceeded — so resuming
+  /// reproduces the uninterrupted run's trace exactly. A hard stop (second
+  /// RequestStop) additionally bails the fusion iteration and strategy
+  /// lookahead loops; the in-flight round is discarded and the last
+  /// checkpoint on disk remains the resume point.
+  const CancellationToken* cancel = nullptr;
+  /// Wall-clock budget for the whole run. Expiry acts like a graceful stop:
+  /// finish the round, checkpoint, return Status::DeadlineExceeded.
+  Deadline deadline;
 };
 
 /// Metrics after one validation round.

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "util/durable_file.h"
+
 namespace veritas {
 
 namespace {
@@ -88,10 +91,90 @@ Result<std::vector<double>> ReadDoubles(std::istream& in, std::size_t n) {
   return out;
 }
 
+// Format v2 trailer: "crc32c <8-hex-digit checksum> <payload bytes>\n"
+// appended after the "end" tag. The checksum covers every byte of the
+// payload (header through "end\n" inclusive), so both truncation (length
+// mismatch) and bit flips (checksum mismatch) are caught before parsing.
+std::string MakeTrailer(const std::string& payload) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "crc32c %08x %zu\n", Crc32c(payload),
+                payload.size());
+  return buf;
+}
+
+// Splits `contents` into payload + verified trailer. On success `payload`
+// holds everything before the trailer line.
+Status VerifyTrailer(const std::string& contents, std::string* payload) {
+  if (contents.empty() || contents.back() != '\n') {
+    return Status::InvalidArgument(
+        "checkpoint: truncated (no trailing newline)");
+  }
+  const std::size_t prev = contents.find_last_of('\n', contents.size() - 2);
+  const std::size_t line_start = prev == std::string::npos ? 0 : prev + 1;
+  const std::string line =
+      contents.substr(line_start, contents.size() - line_start - 1);
+  std::istringstream in(line);
+  std::string tag, hex;
+  std::size_t size = 0;
+  if (!(in >> tag >> hex >> size) || tag != "crc32c") {
+    return Status::InvalidArgument(
+        "checkpoint: missing or corrupt checksum trailer");
+  }
+  char* end = nullptr;
+  const unsigned long expected_crc = std::strtoul(hex.c_str(), &end, 16);
+  if (end == hex.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        "checkpoint: unreadable checksum '" + hex + "'");
+  }
+  *payload = contents.substr(0, line_start);
+  if (payload->size() != size) {
+    return Status::InvalidArgument(
+        "checkpoint: truncated (payload is " +
+        std::to_string(payload->size()) + " bytes, trailer recorded " +
+        std::to_string(size) + ")");
+  }
+  const std::uint32_t actual_crc = Crc32c(*payload);
+  if (actual_crc != static_cast<std::uint32_t>(expected_crc)) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", actual_crc);
+    return Status::InvalidArgument("checkpoint: checksum mismatch (stored " +
+                                   hex + ", computed " + buf + ")");
+  }
+  return Status::OK();
+}
+
+// Reads the "veritas-checkpoint <version>" header without consuming the
+// stream, distinguishing a garbage/truncated version field from a version
+// this build does not understand.
+Result<int> PeekVersion(const std::string& contents) {
+  std::istringstream in(contents);
+  std::string tag;
+  if (!(in >> tag) || tag != "veritas-checkpoint") {
+    return Status::InvalidArgument(
+        "checkpoint: expected 'veritas-checkpoint', got '" + tag + "'");
+  }
+  std::string token;
+  if (!(in >> token)) {
+    return Status::InvalidArgument(
+        "checkpoint: unreadable format version (truncated header)");
+  }
+  char* end = nullptr;
+  const long version = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        "checkpoint: unreadable format version '" + token + "'");
+  }
+  if (version < 1 || version > SessionCheckpoint::kFormatVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported format version " +
+                                   std::to_string(version));
+  }
+  return static_cast<int>(version);
+}
+
 }  // namespace
 
 Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,
-                             const std::string& path) {
+                             const std::string& path, int keep_generations) {
   std::ostringstream out;
   out << "veritas-checkpoint " << SessionCheckpoint::kFormatVersion << "\n";
   out << "meta " << checkpoint.num_validated << " "
@@ -136,39 +219,53 @@ Status SaveSessionCheckpoint(const SessionCheckpoint& checkpoint,
   for (double a : fusion.accuracies()) out << " " << HexDouble(a);
   out << "\nend\n";
 
-  // Atomic replace: a crash mid-write must not clobber the previous
-  // checkpoint (the whole point of having one).
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) {
-      return Status::IoError("cannot write checkpoint temp file: " + tmp);
-    }
-    file << out.str();
-    if (!file.flush()) {
-      return Status::IoError("checkpoint write failed: " + tmp);
-    }
+  const std::string payload = out.str();
+
+  // Rotate the recovery chain before the head is replaced: path.1 -> path.2,
+  // path -> path.1. A crash between the rotation and the new head write
+  // leaves path.1 as the newest verifiable generation, which the loader's
+  // chain walk finds. Missing generations are fine (fresh sessions).
+  for (int gen = keep_generations; gen >= 1; --gen) {
+    const std::string from =
+        gen == 1 ? path : path + "." + std::to_string(gen - 1);
+    const std::string to = path + "." + std::to_string(gen);
+    (void)std::rename(from.c_str(), to.c_str());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("cannot move checkpoint into place: " + path);
-  }
-  return Status::OK();
+
+  // Atomic, fsync'd replace with a process-unique temp name: a crash
+  // mid-write must not clobber the previous checkpoint, and two sessions
+  // checkpointing the same path must not race on the temp file.
+  return AtomicWriteFile(path, payload + MakeTrailer(payload));
 }
 
-Result<SessionCheckpoint> LoadSessionCheckpoint(const std::string& path,
-                                                const Database& db) {
-  std::ifstream file(path);
+namespace {
+
+// Loads and verifies one on-disk generation. The parsing still never trusts
+// the file — the checksum catches random corruption, but a maliciously (or
+// impossibly) crafted payload with a valid checksum must also fail with a
+// Status, never crash — so every shape check below stays.
+Result<SessionCheckpoint> LoadCheckpointGeneration(const std::string& path,
+                                                   const Database& db) {
+  std::ifstream file(path, std::ios::binary);
   if (!file) {
     return Status::NotFound("no checkpoint at: " + path);
   }
-  std::stringstream in;
-  in << file.rdbuf();
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string contents = raw.str();
 
+  VERITAS_ASSIGN_OR_RETURN(const int version, PeekVersion(contents));
+  std::string payload;
+  if (version >= 2) {
+    VERITAS_RETURN_IF_ERROR(VerifyTrailer(contents, &payload));
+  } else {
+    payload = contents;  // v1 predates the checksum trailer.
+  }
+  std::istringstream in(payload);
   VERITAS_RETURN_IF_ERROR(ExpectTag(in, "veritas-checkpoint"));
-  int version = 0;
-  if (!(in >> version) || version != SessionCheckpoint::kFormatVersion) {
-    return Status::InvalidArgument(
-        "checkpoint: unsupported format version " + std::to_string(version));
+  {
+    std::string version_token;
+    in >> version_token;  // Validated by PeekVersion above.
   }
 
   SessionCheckpoint cp;
@@ -264,6 +361,30 @@ Result<SessionCheckpoint> LoadSessionCheckpoint(const std::string& path,
                            ReadDoubles(in, num_accuracies));
   VERITAS_RETURN_IF_ERROR(ExpectTag(in, "end"));
   return cp;
+}
+
+}  // namespace
+
+Result<SessionCheckpoint> LoadSessionCheckpoint(const std::string& path,
+                                                const Database& db) {
+  static Counter* recovered_counter =
+      MetricsRegistry::Global().GetCounter("checkpoint.recovered");
+  Status head_status;
+  for (int gen = 0; gen <= SessionCheckpoint::kRecoveryGenerations; ++gen) {
+    const std::string p =
+        gen == 0 ? path : path + "." + std::to_string(gen);
+    auto loaded = LoadCheckpointGeneration(p, db);
+    if (loaded.ok()) {
+      if (gen > 0) recovered_counter->Add(1);
+      return loaded;
+    }
+    // Head unusable (missing after a crashed rotation, truncated, or
+    // corrupt): keep walking toward older generations. The head's error is
+    // what the caller sees if nothing in the chain verifies — it names the
+    // file the user pointed at and preserves NotFound fresh-start semantics.
+    if (gen == 0) head_status = loaded.status();
+  }
+  return head_status;
 }
 
 }  // namespace veritas

@@ -49,6 +49,11 @@ struct StrategyContext {
   /// hypothetical pin over a dirty frontier instead of re-fusing the whole
   /// database. The session owns the engine and keeps it in sync with `db`.
   const DeltaFusionEngine* delta = nullptr;
+  /// Optional hard-stop token (not owned; may be null). Lookahead-heavy
+  /// strategies poll it between candidates and bail out of the scan when a
+  /// hard stop is requested; the truncated batch is discarded by the session,
+  /// so partial scores never leak into a recorded round.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Abstract feedback-ordering strategy.

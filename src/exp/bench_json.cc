@@ -2,8 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "util/durable_file.h"
 
 namespace veritas {
 
@@ -102,14 +103,9 @@ std::string BenchJsonFile::Render() const {
 }
 
 Status BenchJsonFile::Write(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << Render();
-  // Flush before checking so buffered-write failures (disk full) cannot
-  // escape as Status::OK().
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  // Atomic replace: interrupted benchmark runs never leave a torn JSON file
+  // for downstream tooling to choke on.
+  return AtomicWriteFile(path, Render());
 }
 
 }  // namespace veritas

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "util/csv.h"
+#include "util/durable_file.h"
 #include "util/strings.h"
 
 namespace veritas {
@@ -66,15 +67,13 @@ bool MaybeExportCsv(const std::string& name, const TextTable& table) {
   const char* dir = std::getenv("VERITAS_CSV_DIR");
   if (dir == nullptr || *dir == '\0') return false;
   const std::string path = std::string(dir) + "/" + name + ".csv";
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    std::cerr << "VERITAS_CSV_DIR: cannot write " << path << "\n";
-    return false;
-  }
+  std::ostringstream out;
   table.PrintCsv(out);
-  out.flush();  // Buffered-write failures must not report success.
-  if (!out.good()) {
-    std::cerr << "VERITAS_CSV_DIR: write failed for " << path << "\n";
+  // Atomic replace: a crash mid-export cannot leave a truncated CSV behind.
+  const Status status = AtomicWriteFile(path, out.str());
+  if (!status.ok()) {
+    std::cerr << "VERITAS_CSV_DIR: write failed for " << path << ": "
+              << status << "\n";
     return false;
   }
   return true;

@@ -137,6 +137,10 @@ FusionResult AccuFusion::Fuse(const Database& db, const PriorSet& priors,
   std::size_t iter = 0;
   double last_residual = 0.0;
   while (iter < opts.max_iterations) {
+    // Hard stop: bail at the iteration boundary with converged=false. The
+    // final probability pass below still runs, so the partial result is
+    // internally consistent (P matches the current A).
+    if (HardStopRequested(opts.cancel)) break;
     ++iter;
     update_probabilities();
     // Eq. (2): accuracy of a source is the mean probability of its claims.

@@ -10,6 +10,7 @@
 #include "fusion/fusion_result.h"
 #include "fusion/priors.h"
 #include "model/database.h"
+#include "util/cancellation.h"
 
 namespace veritas {
 
@@ -28,6 +29,12 @@ struct FusionOptions {
   /// with warm starts — cold-started runs stay on the full path so the
   /// paper's worked examples remain bit-exact.
   bool use_delta_fusion = true;
+  /// Optional hard-stop token (not owned; may be null). Iterative models
+  /// poll it once per claim/accuracy alternation and bail at the next
+  /// iteration boundary when a hard stop is requested, returning the
+  /// partial result with converged() == false. Graceful stops never
+  /// interrupt a fusion in flight — that keeps completed rounds bit-exact.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Interface of a data fusion system.

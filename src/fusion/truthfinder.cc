@@ -64,6 +64,8 @@ FusionResult TruthFinderFusion::Fuse(const Database& db,
   std::size_t iter = 0;
   double last_residual = 0.0;
   while (iter < opts.max_iterations) {
+    // Hard stop: bail at the iteration boundary with converged=false.
+    if (HardStopRequested(opts.cancel)) break;
     ++iter;
     // Claim confidences -> per-item distributions.
     for (SourceId j = 0; j < c.num_sources(); ++j) {

@@ -22,7 +22,15 @@ FusionResult VotingFusion::Fuse(const Database& db, const PriorSet& priors,
       MetricsRegistry::Global().GetCounter("fusion.voting.fuse_calls");
   fuse_calls->Add(1);
   FusionResult result(db, opts.initial_accuracy);
+  bool cancelled = false;
   for (ItemId i = 0; i < db.num_items(); ++i) {
+    // Single-pass model, so the hard-stop poll sits in the item loop
+    // (every 256 items — one relaxed load, invisible next to the
+    // per-item allocations).
+    if ((i & 0xFFu) == 0 && HardStopRequested(opts.cancel)) {
+      cancelled = true;
+      break;
+    }
     std::vector<double>* probs = result.mutable_item_probs(i);
     if (priors.Has(i)) {
       *probs = priors.Get(i);
@@ -42,7 +50,7 @@ FusionResult VotingFusion::Fuse(const Database& db, const PriorSet& priors,
         ClampAccuracy(sum / static_cast<double>(s.votes.size()));
   }
   result.set_iterations(1);
-  result.set_converged(true);
+  result.set_converged(!cancelled);
   return result;
 }
 

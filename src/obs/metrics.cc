@@ -4,8 +4,9 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "util/durable_file.h"
 
 namespace veritas {
 
@@ -185,14 +186,13 @@ void MetricsRegistry::Reset() {
 }
 
 Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out << Snapshot().ToJson();
-  out.flush();  // Surface buffered-write failures before reporting OK.
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  // Atomic replace: a crash mid-export leaves the previous snapshot (or no
+  // file), never a torn JSON document.
+  return AtomicWriteFile(path, Snapshot().ToJson());
+}
+
+Status MetricsRegistry::WriteTextFile(const std::string& path) const {
+  return AtomicWriteFile(path, Snapshot().ToText());
 }
 
 double MetricsSnapshot::Value(const std::string& name, double fallback) const {

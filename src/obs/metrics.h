@@ -143,8 +143,11 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
   /// Zeroes every value; instruments (and pointers to them) survive.
   void Reset();
-  /// Snapshot().ToJson() to a file, fsync-checked.
+  /// Snapshot().ToJson() to a file, written atomically (temp + fsync +
+  /// rename) so a crash mid-export never leaves a torn document.
   Status WriteJsonFile(const std::string& path) const;
+  /// Snapshot().ToText() to a file, with the same atomic-write guarantee.
+  Status WriteTextFile(const std::string& path) const;
 
  private:
   mutable std::mutex mu_;

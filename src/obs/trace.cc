@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "util/durable_file.h"
 
 namespace veritas {
 
@@ -139,14 +140,9 @@ std::string TraceRecorder::ToChromeJson() const {
 }
 
 Status TraceRecorder::WriteChromeJson(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out << ToChromeJson();
-  out.flush();  // Surface buffered-write failures before reporting OK.
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  // Atomic replace: a crash mid-flush leaves the previous trace (or no
+  // file), never a torn JSON document.
+  return AtomicWriteFile(path, ToChromeJson());
 }
 
 }  // namespace veritas

@@ -1,0 +1,15 @@
+#include "util/cancellation.h"
+
+#include <string>
+
+namespace veritas {
+
+std::string DescribeStop(const CancellationToken* token,
+                         const Deadline& deadline) {
+  if (HardStopRequested(token)) return "hard cancellation";
+  if (StopRequested(token)) return "cancellation";
+  if (deadline.expired()) return "deadline expired";
+  return "no stop requested";
+}
+
+}  // namespace veritas

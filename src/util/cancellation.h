@@ -1,0 +1,123 @@
+// Cooperative cancellation and deadlines for long-running work. A feedback
+// session that drives a real expert (or a large benchmark) runs for minutes
+// to hours; an operator pressing Ctrl-C or a wall-clock budget expiring must
+// end it with a clean, resumable checkpoint instead of a dead process.
+//
+// Two stop severities, matching the classic CLI contract:
+//
+//  * graceful (first Ctrl-C, expired Deadline): observed only at round
+//    boundaries. The in-flight round completes bit-exactly, is
+//    checkpointed, and the session returns Status::DeadlineExceeded —
+//    resuming reproduces the uninterrupted run's trace exactly.
+//  * hard (second Ctrl-C): observed inside the fusion iteration loops and
+//    the strategy lookahead scans, which bail at the next iteration. The
+//    in-flight round is discarded (its partial results are never recorded),
+//    and the last checkpoint on disk — end of the previous completed round —
+//    remains the resume point.
+//
+// CancellationToken is a single lock-free atomic, so RequestStop() is safe
+// to call from a signal handler and the per-iteration checks in hot loops
+// cost one relaxed load.
+#ifndef VERITAS_UTIL_CANCELLATION_H_
+#define VERITAS_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace veritas {
+
+/// Shared stop flag. The owner (CLI, test) keeps the token alive for the
+/// duration of the work; workers hold a const pointer and poll.
+class CancellationToken {
+ public:
+  /// Requests a stop, escalating on repeat: the first call requests a
+  /// graceful stop, any further call a hard stop. Async-signal-safe.
+  void RequestStop() {
+    int level = level_.load(std::memory_order_relaxed);
+    while (level < kHard &&
+           !level_.compare_exchange_weak(level, level + 1,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Jumps straight to a hard stop (discard the in-flight round).
+  void RequestHardStop() { level_.store(kHard, std::memory_order_relaxed); }
+
+  /// A stop of any severity has been requested.
+  bool stop_requested() const {
+    return level_.load(std::memory_order_relaxed) != kRun;
+  }
+
+  /// A hard stop has been requested (inner loops should bail).
+  bool hard_stop_requested() const {
+    return level_.load(std::memory_order_relaxed) >= kHard;
+  }
+
+  /// Re-arms the token (e.g. before resuming a cancelled session).
+  void Reset() { level_.store(kRun, std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kRun = 0;
+  static constexpr int kGraceful = 1;
+  static constexpr int kHard = 2;
+  std::atomic<int> level_{kRun};
+};
+
+/// Null-tolerant helpers so call sites can poll an optional token without
+/// branching on the pointer themselves.
+inline bool StopRequested(const CancellationToken* token) {
+  return token != nullptr && token->stop_requested();
+}
+inline bool HardStopRequested(const CancellationToken* token) {
+  return token != nullptr && token->hard_stop_requested();
+}
+
+/// A wall-clock budget. Default-constructed deadlines never expire, so the
+/// type can sit in an options struct without an optional wrapper.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (0 = already expired).
+  static Deadline AfterMillis(long ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool expired() const {
+    return has_deadline_ && Clock::now() >= at_;
+  }
+
+  /// Time left, clamped at zero; the maximum duration when infinite.
+  std::chrono::nanoseconds remaining() const {
+    if (!has_deadline_) return std::chrono::nanoseconds::max();
+    const auto left = at_ - Clock::now();
+    return left.count() > 0
+               ? std::chrono::duration_cast<std::chrono::nanoseconds>(left)
+               : std::chrono::nanoseconds::zero();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// Human-readable stop cause, priority-ordered (hard > graceful > deadline),
+/// for status messages: "hard cancellation", "cancellation",
+/// "deadline expired", or "no stop requested".
+std::string DescribeStop(const CancellationToken* token,
+                         const Deadline& deadline);
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_CANCELLATION_H_

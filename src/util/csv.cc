@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "util/durable_file.h"
 #include "util/strings.h"
 
 namespace veritas {
@@ -119,20 +120,14 @@ Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path, char delim) {
 
 Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
                     char delim) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open file for writing: " + path);
-  }
+  std::string contents;
   for (const CsvRow& row : rows) {
-    out << FormatCsvRow(row, delim) << '\n';
+    contents += FormatCsvRow(row, delim);
+    contents.push_back('\n');
   }
-  // Flush before checking: a buffered write that only fails at flush time
-  // (disk full) must not report OK.
-  out.flush();
-  if (!out.good()) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::OK();
+  // Atomic replace (temp + fsync + rename): a crash or disk-full failure
+  // mid-write leaves the previous file intact, never a truncated CSV.
+  return AtomicWriteFile(path, contents);
 }
 
 }  // namespace veritas

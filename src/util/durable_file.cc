@@ -1,0 +1,145 @@
+#include "util/durable_file.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace veritas {
+
+namespace {
+
+// CRC-32C lookup table (reflected 0x1EDC6F41), built once on first use.
+const std::uint32_t* Crc32cTable() {
+  static const std::uint32_t* table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + ": " + path + " (" + std::strerror(errno) + ")";
+}
+
+// Directory part of `path` ("." when the path has no separator), for the
+// parent fsync that makes the rename itself durable.
+std::string ParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::uint32_t* table = Crc32cTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const AtomicWriteOptions& options) {
+  // Unique temp name: two processes (or threads) checkpointing the same
+  // path must not scribble into each other's temp file, and a failed write
+  // must not clobber a concurrent writer's in-flight data.
+  static std::atomic<std::uint64_t> write_counter{0};
+  const std::uint64_t serial =
+      write_counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(_WIN32)
+  const std::string tmp = path + ".tmp." + std::to_string(serial);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot open temp file for writing: " + tmp);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot move temp file into place: " + path);
+  }
+  (void)options;
+  return Status::OK();
+#else
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(serial);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open temp file", tmp));
+  }
+  const auto fail = [&](const std::string& what) {
+    const Status status = Status::IoError(ErrnoMessage(what, tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());  // Failed writes leave no litter behind.
+    return status;
+  };
+  const char* p = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write failed");
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (options.sync && ::fsync(fd) != 0) {
+    return fail("fsync failed");
+  }
+  if (::close(fd) != 0) {
+    const Status status = Status::IoError(ErrnoMessage("close failed", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status =
+        Status::IoError(ErrnoMessage("cannot move temp file into place", path));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (options.sync) {
+    // The rename is only durable once the directory entry itself is synced.
+    const std::string dir = ParentDirectory(path);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      // Some filesystems refuse fsync on directories; the rename already
+      // happened, so a sync failure here downgrades durability but must not
+      // report the (complete, visible) write as failed.
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return Status::OK();
+#endif
+}
+
+}  // namespace veritas

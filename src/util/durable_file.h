@@ -1,0 +1,53 @@
+// Crash-safe file output. Every writer that produces an artifact a later
+// process depends on (checkpoints, metrics snapshots, traces, bench
+// baselines, CSV exports) goes through AtomicWriteFile: the contents land in
+// a process-unique temp file first, are flushed and fsync'd, and only then
+// renamed over the destination — with a final fsync of the parent directory
+// so the rename itself survives a power cut. A crash at any point leaves
+// either the complete old file or the complete new file, never a torn one.
+//
+// Crc32c provides the content checksum the durable formats (checkpoint v2)
+// embed so that silent corruption *after* a successful write — bit rot, a
+// torn sector, a truncating copy — is detected at load time instead of being
+// parsed into garbage state.
+#ifndef VERITAS_UTIL_DURABLE_FILE_H_
+#define VERITAS_UTIL_DURABLE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace veritas {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) of `size` bytes.
+/// `seed` chains partial checksums: Crc32c(b, Crc32c(a)) == Crc32c(a + b).
+/// Matches the widely deployed variant (iSCSI, leveldb, SSE4.2 crc32
+/// instruction); Crc32c("123456789") == 0xE3069283.
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+inline std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+struct AtomicWriteOptions {
+  /// fsync the temp file before the rename and the parent directory after
+  /// it. Off skips both syncs (still atomic against process crashes via the
+  /// rename, but not against power loss); useful for high-frequency
+  /// non-critical artifacts.
+  bool sync = true;
+};
+
+/// Writes `contents` to `path` atomically: temp file with a process-unique
+/// suffix (pid + counter, so concurrent writers to the same path never race
+/// on the temp name), write + flush + fsync, rename into place, fsync of the
+/// parent directory. On any failure the temp file is unlinked — failed
+/// writes leave no litter and never touch the previous `path` contents.
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const AtomicWriteOptions& options = {});
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_DURABLE_FILE_H_

@@ -1,0 +1,104 @@
+// Tests of the cooperative cancellation token and wall-clock deadline.
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace veritas {
+namespace {
+
+TEST(CancellationTokenTest, StartsRunning) {
+  CancellationToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.hard_stop_requested());
+}
+
+TEST(CancellationTokenTest, FirstRequestIsGraceful) {
+  CancellationToken token;
+  token.RequestStop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.hard_stop_requested());
+}
+
+TEST(CancellationTokenTest, SecondRequestEscalatesToHard) {
+  CancellationToken token;
+  token.RequestStop();
+  token.RequestStop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.hard_stop_requested());
+  token.RequestStop();  // Further requests stay hard (no wraparound).
+  EXPECT_TRUE(token.hard_stop_requested());
+}
+
+TEST(CancellationTokenTest, HardStopSkipsTheGracefulLevel) {
+  CancellationToken token;
+  token.RequestHardStop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.hard_stop_requested());
+}
+
+TEST(CancellationTokenTest, ResetReArmsTheToken) {
+  CancellationToken token;
+  token.RequestStop();
+  token.RequestStop();
+  token.Reset();
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.hard_stop_requested());
+}
+
+TEST(CancellationTokenTest, NullTolerantHelpersTreatNullAsRunning) {
+  EXPECT_FALSE(StopRequested(nullptr));
+  EXPECT_FALSE(HardStopRequested(nullptr));
+  CancellationToken token;
+  token.RequestStop();
+  EXPECT_TRUE(StopRequested(&token));
+  EXPECT_FALSE(HardStopRequested(&token));
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), std::chrono::nanoseconds::max());
+}
+
+TEST(DeadlineTest, InfiniteMatchesDefault) {
+  EXPECT_FALSE(Deadline::Infinite().has_deadline());
+}
+
+TEST(DeadlineTest, ZeroMillisIsAlreadyExpired) {
+  const Deadline deadline = Deadline::AfterMillis(0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), std::chrono::nanoseconds::zero());
+}
+
+TEST(DeadlineTest, FutureDeadlineHasTimeRemaining) {
+  const Deadline deadline = Deadline::AfterMillis(60'000);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining(), std::chrono::seconds(30));
+}
+
+TEST(DeadlineTest, ExpiresAfterTheBudgetElapses) {
+  const Deadline deadline = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), std::chrono::nanoseconds::zero());
+}
+
+TEST(DescribeStopTest, ReportsTheHighestSeverityCause) {
+  CancellationToken token;
+  EXPECT_EQ(DescribeStop(nullptr, Deadline()), "no stop requested");
+  EXPECT_EQ(DescribeStop(&token, Deadline::AfterMillis(0)),
+            "deadline expired");
+  token.RequestStop();
+  EXPECT_EQ(DescribeStop(&token, Deadline::AfterMillis(0)), "cancellation");
+  token.RequestStop();
+  EXPECT_EQ(DescribeStop(&token, Deadline()), "hard cancellation");
+}
+
+}  // namespace
+}  // namespace veritas

@@ -15,6 +15,7 @@
 //
 // All observation files are CSV triples `source,item,value`; truth files
 // are CSV pairs `item,value` (see data/loader.h).
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 
@@ -34,10 +35,22 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/args.h"
+#include "util/cancellation.h"
 #include "util/csv.h"
 
 namespace veritas {
 namespace {
+
+// Session cancellation, tripped by SIGINT/SIGTERM. RequestStop escalates on
+// repeat delivery: the first signal asks the session to finish the current
+// round, checkpoint, and exit; a second one bails the inner fusion/lookahead
+// loops too. CancellationToken is a single atomic int, so calling it from a
+// signal handler is async-signal-safe.
+CancellationToken g_session_cancel;
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  g_session_cancel.RequestStop();
+}
 
 void PrintUsage() {
   std::cout <<
@@ -54,7 +67,8 @@ void PrintUsage() {
       "               [--model accu] [--threads 1] [--no-delta]\n"
       "               [--flaky <p|plan>] [--retries 3]\n"
       "               [--checkpoint ckpt] [--checkpoint-every 1]\n"
-      "               [--resume ckpt] [--steps-out steps.csv]\n"
+      "               [--resume ckpt] [--deadline-ms N]\n"
+      "               [--steps-out steps.csv]\n"
       "               [--metrics-out metrics.json] [--trace-out trace.json]\n"
       "  generate     [--shape dense|longtail] [--items 500] [--sources 38]\n"
       "               [--density 0.4] [--copiers 0] [--seed 42]\n"
@@ -240,10 +254,37 @@ Status RunSession(const ArgMap& args) {
     return Status::InvalidArgument("--checkpoint-every must be >= 1");
   }
   options.checkpoint_every_rounds = static_cast<std::size_t>(every);
+
+  // Wall-clock budget and Ctrl-C support. Both stop paths surface as
+  // DeadlineExceeded, which main() maps to exit code 3 (distinct from hard
+  // errors) so scripts can distinguish "interrupted, resume me" from
+  // "failed".
+  if (args.Has("deadline-ms")) {
+    VERITAS_ASSIGN_OR_RETURN(long deadline_ms, args.GetInt("deadline-ms", 0));
+    if (deadline_ms < 0) {
+      return Status::InvalidArgument("--deadline-ms must be >= 0");
+    }
+    options.deadline = Deadline::AfterMillis(deadline_ms);
+  }
+  options.cancel = &g_session_cancel;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
   Rng rng(static_cast<std::uint64_t>(seed));
   FeedbackSession session(db, *model, strategy.get(), oracle_ptr, truth,
                           options, &rng);
-  VERITAS_ASSIGN_OR_RETURN(SessionTrace trace, session.Run());
+  auto trace_or = session.Run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (!trace_or.ok()) {
+    if (trace_or.status().code() == StatusCode::kDeadlineExceeded &&
+        !options.checkpoint_path.empty()) {
+      std::cerr << "note: re-run with --resume " << options.checkpoint_path
+                << " to continue where this session left off\n";
+    }
+    return trace_or.status();
+  }
+  SessionTrace trace = std::move(trace_or).value();
 
   TextTable table({"validated", "item(s)", "distance", "uncertainty",
                    "select time"});
@@ -382,6 +423,12 @@ int main(int argc, char** argv) {
   }
   const veritas::Status status = veritas::Dispatch(*args);
   if (!status.ok()) {
+    // Deadline expiry / Ctrl-C is an orderly, resumable stop, not a failure:
+    // give it its own exit code so wrappers can tell the two apart.
+    if (status.code() == veritas::StatusCode::kDeadlineExceeded) {
+      std::cerr << "interrupted: " << status << "\n";
+      return 3;
+    }
     std::cerr << "error: " << status << "\n";
     return 1;
   }
