@@ -47,6 +47,35 @@ Status RestoreRngState(Rng* rng, const std::string& state) {
   return Status::OK();
 }
 
+std::size_t ApproxVectorBytes(const std::vector<double>& v) {
+  return sizeof(v) + v.capacity() * sizeof(double);
+}
+
+/// Approximate resident bytes of the session's dominant heap state: the
+/// recorded trace (steps + priors) and the live fusion posteriors (counted
+/// twice — current result plus the in-flight re-fusion that momentarily
+/// coexists with it). Deterministic for a given trace, so the same session
+/// always evicts at the same round (see util/resource_budget.h).
+std::size_t ApproxSessionBytes(const SessionTrace& trace,
+                               const FusionResult& fusion) {
+  std::size_t bytes = sizeof(SessionTrace);
+  for (const SessionStep& step : trace.steps) {
+    bytes += sizeof(SessionStep) +
+             (step.items.capacity() + step.skipped.capacity()) *
+                 sizeof(ItemId);
+  }
+  bytes += trace.skipped_items.capacity() * sizeof(ItemId);
+  // Unordered-map node + key + vector header + payload per pinned prior.
+  for (const auto& entry : trace.priors) {
+    bytes += 64 + ApproxVectorBytes(entry.second);
+  }
+  std::size_t fusion_bytes = ApproxVectorBytes(fusion.accuracies());
+  for (ItemId i = 0; i < fusion.num_items(); ++i) {
+    fusion_bytes += ApproxVectorBytes(fusion.item_probs(i));
+  }
+  return bytes + 2 * fusion_bytes;
+}
+
 }  // namespace
 
 double SessionTrace::DistanceReductionPercent(std::size_t idx) const {
@@ -92,6 +121,7 @@ Result<SessionTrace> FeedbackSession::Run() {
       reg.GetCounter("session.fusion_nonconverged_rounds");
   static Counter* fallback_counter =
       reg.GetCounter("session.fusion_fallback_rounds");
+  static Histogram* step_hist = reg.GetHistogram("session.step_seconds");
   static Histogram* select_hist = reg.GetHistogram("session.select_seconds");
   static Histogram* oracle_hist = reg.GetHistogram("session.oracle_seconds");
   static Histogram* fuse_hist = reg.GetHistogram("session.fuse_seconds");
@@ -100,6 +130,8 @@ Result<SessionTrace> FeedbackSession::Run() {
       reg.GetHistogram("session.checkpoint_seconds");
   static Counter* interrupted_counter =
       reg.GetCounter("session.interrupted_runs");
+  static Counter* evicted_counter =
+      reg.GetCounter("session.evicted_runs");
 
   SessionTrace trace;
   strategy_->Reset();
@@ -168,6 +200,9 @@ Result<SessionTrace> FeedbackSession::Run() {
     trace.initial_distance = DistanceToGroundTruth(db_, fusion, truth_);
     trace.initial_uncertainty = Uncertainty(fusion);
   }
+  // Rounds recorded before this process run started; the budget's per-run
+  // quota (and its one-round-of-progress guarantee) counts from here.
+  const std::size_t resumed_rounds = trace.steps.size();
 
   std::size_t rounds_since_checkpoint = 0;
   // Whether the in-memory trace has advanced past what is on disk. Keeps a
@@ -227,6 +262,30 @@ Result<SessionTrace> FeedbackSession::Run() {
       VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/true));
       return interrupted();
     }
+    // Resource budget: graceful eviction-to-checkpoint, only once at least
+    // one round has completed this run (guaranteed progress per admission).
+    if (options_.budget.limited() &&
+        trace.steps.size() > resumed_rounds) {
+      ResourceUsage usage;
+      usage.rounds_this_run = trace.steps.size() - resumed_rounds;
+      usage.approx_bytes = ApproxSessionBytes(trace, fusion);
+      const BudgetVerdict verdict = CheckBudget(options_.budget, usage);
+      if (verdict != BudgetVerdict::kWithin) {
+        VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/true));
+        evicted_counter->Add(1);
+        std::ostringstream msg;
+        msg << "session evicted ("
+            << DescribeBudgetBreach(verdict, options_.budget, usage)
+            << ") after " << validated << " validations";
+        if (!options_.checkpoint_path.empty()) {
+          msg << "; resumable checkpoint at " << options_.checkpoint_path;
+        } else {
+          msg << "; no checkpoint path configured, progress was not"
+                 " persisted";
+        }
+        return Status::ResourceExhausted(msg.str());
+      }
+    }
 
     StrategyContext ctx;
     ctx.db = &db_;
@@ -247,6 +306,10 @@ Result<SessionTrace> FeedbackSession::Run() {
         options_.batch_size, options_.max_validations - validated);
 
     rounds_counter->Add(1);
+    // End-to-end round latency (select + oracle wait + re-fuse + metrics):
+    // the distribution the serve bench quotes as step p50/p99. The per-phase
+    // histograms below break it down.
+    Timer round_timer;
     Timer select_timer;
     std::vector<ItemId> batch;
     {
@@ -346,6 +409,7 @@ Result<SessionTrace> FeedbackSession::Run() {
       step.uncertainty = Uncertainty(fusion);
       metrics_hist->Observe(metrics_timer.ElapsedSeconds());
     }
+    step_hist->Observe(round_timer.ElapsedSeconds());
     trace.steps.push_back(std::move(step));
     checkpoint_dirty = true;
     VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/false));

@@ -15,6 +15,7 @@
 #include "fusion/fusion_model.h"
 #include "model/ground_truth.h"
 #include "util/cancellation.h"
+#include "util/resource_budget.h"
 #include "util/result.h"
 
 namespace veritas {
@@ -65,6 +66,14 @@ struct SessionOptions {
   /// Wall-clock budget for the whole run. Expiry acts like a graceful stop:
   /// finish the round, checkpoint, return Status::DeadlineExceeded.
   Deadline deadline;
+  /// Resource budget (approximate resident bytes + per-run round quota;
+  /// zero fields = unlimited). Checked at round boundaries after at least
+  /// one round has completed this run — so every admission makes progress
+  /// and evict/resume cycles terminate. A breach acts like a graceful stop
+  /// except for the status: checkpoint, then return
+  /// Status::ResourceExhausted (the supervisor's eviction signal; resuming
+  /// from the checkpoint continues bit-exactly).
+  ResourceBudget budget;
 };
 
 /// Metrics after one validation round.

@@ -140,10 +140,19 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
   std::vector<double> accuracies = result.accuracies();
   std::vector<double> independence_weight;  // Scratch per claim scoring.
 
-  for (std::size_t round = 0; round < copy_options_.dependence_rounds;
-       ++round) {
+  // Hard stop (see FusionOptions::cancel): the O(sources²) dependence scan
+  // and the inner EM loop both poll at their boundaries and bail with
+  // converged=false; the bootstrap result above keeps the output well
+  // formed. Graceful stops never interrupt a fusion in flight.
+  bool stopped = false;
+  for (std::size_t round = 0;
+       round < copy_options_.dependence_rounds && !stopped; ++round) {
     // 1. Re-estimate pairwise dependence under the current beliefs.
-    for (SourceId a = 0; a < n_sources; ++a) {
+    for (SourceId a = 0; a < n_sources && !stopped; ++a) {
+      if (HardStopRequested(opts.cancel)) {
+        stopped = true;
+        break;
+      }
       for (SourceId b = a + 1; b < n_sources; ++b) {
         const PairEvidence ev = CollectEvidence(db, result, a, b);
         const std::size_t overlap = ev.same_true + ev.same_false +
@@ -173,10 +182,15 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
     //    starting from fresh accuracies: carrying accuracies polarized by a
     //    previous round's (possibly clique-dominated) solution would anchor
     //    the very errors the discounting is meant to undo.
+    if (stopped) break;
     std::fill(accuracies.begin(), accuracies.end(), opts.initial_accuracy);
     bool converged = false;
     std::size_t iter = 0;
     while (iter < opts.max_iterations) {
+      if (HardStopRequested(opts.cancel)) {
+        stopped = true;
+        break;
+      }
       ++iter;
       for (ItemId i = 0; i < db.num_items(); ++i) {
         std::vector<double>* probs = result.mutable_item_probs(i);
@@ -246,8 +260,9 @@ FusionResult AccuCopyFusion::Fuse(const Database& db, const PriorSet& priors,
       }
     }
     result.set_iterations(iter);
-    result.set_converged(converged);
+    result.set_converged(converged && !stopped);
   }
+  if (stopped) result.set_converged(false);
   *result.mutable_accuracies() = std::move(accuracies);
   {
     std::lock_guard<std::mutex> lock(diag_mutex_);

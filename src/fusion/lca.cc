@@ -25,6 +25,9 @@ FusionResult SimpleLcaFusion::Fuse(const Database& db, const PriorSet& priors,
   std::size_t iter = 0;
   std::vector<double> scores;
   while (iter < opts.max_iterations) {
+    // Hard stop: bail at the iteration boundary with converged=false; the
+    // posteriors from the completed E-steps stay internally consistent.
+    if (HardStopRequested(opts.cancel)) break;
     ++iter;
     // E-step: claim posteriors from source honesty.
     for (ItemId i = 0; i < db.num_items(); ++i) {

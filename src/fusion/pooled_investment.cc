@@ -27,6 +27,8 @@ FusionResult PooledInvestmentFusion::Fuse(const Database& db,
   std::size_t iter = 0;
   std::vector<double> returns;
   while (iter < opts.max_iterations) {
+    // Hard stop: bail at the iteration boundary with converged=false.
+    if (HardStopRequested(opts.cancel)) break;
     ++iter;
     // Claim pooled returns H(v) = sum_s trust(s)/N(s), grown by G, then
     // normalized per item into a distribution.

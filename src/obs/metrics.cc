@@ -109,6 +109,30 @@ std::uint64_t Histogram::count() const {
   return count_;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, ceil), then walk the buckets.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t next = cumulative + buckets[b];
+    if (rank <= next) {
+      const double lo = b == 0 ? min : edges[b - 1];
+      const double hi = b < edges.size() ? edges[b] : max;
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(buckets[b]);
+      const double value = lo + (hi - lo) * frac;
+      return std::min(max, std::max(min, value));
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);

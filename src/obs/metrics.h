@@ -71,6 +71,13 @@ struct HistogramSnapshot {
   double max = 0.0;
   std::vector<double> edges;           ///< Upper bounds, ascending.
   std::vector<std::uint64_t> buckets;  ///< edges.size() + 1 (overflow last).
+
+  /// Approximate `q`-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding the target rank, clamped to the observed [min, max]
+  /// (so the overflow bucket cannot extrapolate past the recorded maximum).
+  /// 0 when the histogram is empty. Feeds the p50/p99 latency numbers the
+  /// serve bench publishes.
+  double Quantile(double q) const;
 };
 
 /// Bounded-bucket histogram with exact Welford mean/stddev. A value lands in

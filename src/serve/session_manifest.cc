@@ -1,0 +1,177 @@
+#include "serve/session_manifest.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/durable_file.h"
+
+namespace veritas {
+
+namespace {
+
+constexpr const char* kHeader = "veritas-session-manifest v1";
+constexpr const char* kManifestSuffix = ".session";
+
+// Empty string values are stored as "-" so every line keeps its two-token
+// shape; real values never start with "-" followed by nothing.
+std::string EncodeString(const std::string& value) {
+  return value.empty() ? "-" : value;
+}
+
+std::string DecodeString(const std::string& value) {
+  return value == "-" ? "" : value;
+}
+
+}  // namespace
+
+std::string ValidateSessionId(const std::string& id) {
+  if (id.empty()) return "session id must not be empty";
+  for (char c : id) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      return "session id must not contain whitespace";
+    }
+    if (c == '/' || c == '\\') {
+      return "session id must not contain path separators";
+    }
+  }
+  if (id[0] == '.') return "session id must not start with '.'";
+  return "";
+}
+
+std::string SessionManifestPath(const std::string& dir,
+                                const std::string& id) {
+  return dir + "/" + id + kManifestSuffix;
+}
+
+std::string SessionCheckpointPath(const std::string& dir,
+                                  const std::string& id) {
+  return dir + "/" + id + ".ckpt";
+}
+
+Status SaveSessionManifest(const SessionSpec& spec, const std::string& path) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "id " << spec.id << "\n";
+  out << "strategy " << EncodeString(spec.strategy) << "\n";
+  out << "model " << EncodeString(spec.model) << "\n";
+  out << "oracle " << EncodeString(spec.oracle) << "\n";
+  out << "max_validations " << spec.max_validations << "\n";
+  out << "batch " << spec.batch_size << "\n";
+  out << "seed " << spec.seed << "\n";
+  out << "deadline_ms " << spec.deadline_ms << "\n";
+  out << "budget_bytes " << spec.budget.max_approx_bytes << "\n";
+  out << "budget_rounds " << spec.budget.max_rounds_per_run << "\n";
+  out << "flaky " << EncodeString(spec.flaky_plan) << "\n";
+  out << "retries " << spec.retries << "\n";
+  out << "stall_seconds " << spec.stall_seconds << "\n";
+  out << "delta " << (spec.use_delta_fusion ? 1 : 0) << "\n";
+  out << "recovery_attempts " << spec.recovery_attempts << "\n";
+  out << "end\n";
+  return AtomicWriteFile(path, out.str());
+}
+
+Result<SessionSpec> LoadSessionManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("no session manifest at " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("manifest " + path +
+                                   ": missing or unsupported header");
+  }
+  SessionSpec spec;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) {
+      return Status::InvalidArgument("manifest " + path + ": bad line \"" +
+                                     line + "\"");
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::istringstream num(value);
+    const auto bad = [&]() {
+      return Status::InvalidArgument("manifest " + path + ": bad value for " +
+                                     key);
+    };
+    if (key == "id") {
+      spec.id = value;
+    } else if (key == "strategy") {
+      spec.strategy = DecodeString(value);
+    } else if (key == "model") {
+      spec.model = DecodeString(value);
+    } else if (key == "oracle") {
+      spec.oracle = DecodeString(value);
+    } else if (key == "max_validations") {
+      if (!(num >> spec.max_validations)) return bad();
+    } else if (key == "batch") {
+      if (!(num >> spec.batch_size)) return bad();
+    } else if (key == "seed") {
+      if (!(num >> spec.seed)) return bad();
+    } else if (key == "deadline_ms") {
+      if (!(num >> spec.deadline_ms)) return bad();
+    } else if (key == "budget_bytes") {
+      if (!(num >> spec.budget.max_approx_bytes)) return bad();
+    } else if (key == "budget_rounds") {
+      if (!(num >> spec.budget.max_rounds_per_run)) return bad();
+    } else if (key == "flaky") {
+      spec.flaky_plan = DecodeString(value);
+    } else if (key == "retries") {
+      if (!(num >> spec.retries)) return bad();
+    } else if (key == "stall_seconds") {
+      if (!(num >> spec.stall_seconds)) return bad();
+    } else if (key == "delta") {
+      int flag = 0;
+      if (!(num >> flag)) return bad();
+      spec.use_delta_fusion = flag != 0;
+    } else if (key == "recovery_attempts") {
+      if (!(num >> spec.recovery_attempts)) return bad();
+    }
+    // Unknown keys are skipped so older binaries read newer manifests.
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("manifest " + path +
+                                   ": truncated (no end marker)");
+  }
+  if (!ValidateSessionId(spec.id).empty()) {
+    return Status::InvalidArgument("manifest " + path + ": bad session id");
+  }
+  return spec;
+}
+
+Result<std::vector<std::string>> ListSessionManifests(
+    const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IoError("cannot list sessions directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<std::string> ids;
+  const std::string suffix = kManifestSuffix;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    ids.push_back(name.substr(0, name.size() - suffix.size()));
+  }
+  ::closedir(d);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace veritas

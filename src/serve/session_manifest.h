@@ -1,0 +1,76 @@
+// SessionSpec + durable admission manifests for the session supervisor.
+//
+// A checkpoint (core/session_checkpoint) captures a session's *state* but
+// not its *configuration* — which strategy, oracle chain, seed and budget
+// produced that state. The supervisor therefore writes a small manifest
+// file (`<dir>/<id>.session`, atomic + fsync'd via util/durable_file) at
+// admission time and deletes it on successful completion. After a crash or
+// eviction, the startup recovery sweep only has to scan the sessions
+// directory: every manifest still present names an interrupted session, and
+// re-running its spec with the standard resume path (`<dir>/<id>.ckpt`)
+// continues it bit-exactly from the newest verifying checkpoint generation.
+#ifndef VERITAS_SERVE_SESSION_MANIFEST_H_
+#define VERITAS_SERVE_SESSION_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/resource_budget.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Everything needed to (re)construct one supervised session. All fields
+/// are plain configuration — the mutable state lives in the checkpoint.
+struct SessionSpec {
+  /// Unique per supervisor; names the manifest and checkpoint files. Must
+  /// be non-empty and contain no whitespace or path separators.
+  std::string id;
+  std::string strategy = "approx_meu";
+  std::string model = "accu";
+  std::string oracle = "perfect";
+  std::size_t max_validations = 20;
+  std::size_t batch_size = 1;
+  std::uint64_t seed = 42;
+  /// Wall-clock budget per admission, started when the session begins
+  /// running (not while queued). <= 0 uses the supervisor default.
+  long deadline_ms = 0;
+  /// Per-session resource budget; unlimited uses the supervisor default.
+  ResourceBudget budget;
+  /// FaultPlan spec for a FlakyOracle decorator ("" = none).
+  std::string flaky_plan;
+  /// Retry attempts beyond the first for transient oracle failures.
+  std::size_t retries = 0;
+  /// > 0 simulates a hung oracle: every answer stalls up to this many
+  /// seconds unless a hard stop arrives first (see serve/stall_oracle.h).
+  double stall_seconds = 0.0;
+  bool use_delta_fusion = true;
+  /// Times the recovery sweep has re-admitted this session. Maintained by
+  /// the supervisor (not callers) so a permanently failing session cannot
+  /// crash-loop through recovery forever.
+  std::size_t recovery_attempts = 0;
+};
+
+/// "" when the id is valid, else the reason it is not.
+std::string ValidateSessionId(const std::string& id);
+
+/// Manifest (`<id>.session`) and checkpoint (`<id>.ckpt`) paths for a spec.
+std::string SessionManifestPath(const std::string& dir, const std::string& id);
+std::string SessionCheckpointPath(const std::string& dir,
+                                  const std::string& id);
+
+/// Serializes `spec` and writes it atomically (fsync'd) to `path`.
+Status SaveSessionManifest(const SessionSpec& spec, const std::string& path);
+
+/// Reads a manifest back. InvalidArgument on unknown version, truncation or
+/// malformed fields; NotFound when the file does not exist.
+Result<SessionSpec> LoadSessionManifest(const std::string& path);
+
+/// Ids of every manifest (`*.session`) in `dir`, sorted. IoError when the
+/// directory cannot be read.
+Result<std::vector<std::string>> ListSessionManifests(const std::string& dir);
+
+}  // namespace veritas
+
+#endif  // VERITAS_SERVE_SESSION_MANIFEST_H_

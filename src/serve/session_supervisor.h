@@ -1,0 +1,206 @@
+// SessionSupervisor: the overload-safe multi-session layer that promotes the
+// library from one-shot CLI runs toward a long-lived fusion service (ROADMAP
+// "Long-lived multi-session fusion service"). Many concurrent
+// FeedbackSessions run over one shared immutable Database/GroundTruth
+// snapshot; the supervisor keeps the service up under overload, stuck
+// oracles and process crashes with four cooperating mechanisms:
+//
+//   1. Admission control — a bounded queue in front of a fixed worker pool.
+//      When max_queue_depth is reached, Submit() rejects with a typed
+//      Status::ResourceExhausted instead of letting latency degrade for
+//      every admitted session (load shedding, never unbounded buffering).
+//   2. Per-session resource budgets — SessionOptions::budget (approximate
+//      bytes + per-run round quota, util/resource_budget). A breach evicts
+//      the session gracefully to its durable checkpoint; the admission slot
+//      is freed and the session stays resumable.
+//   3. Watchdog — a background thread that detects sessions stuck past
+//      their Deadline (e.g. a hung oracle that never returns control to the
+//      round loop) and escalates through the two-severity
+//      CancellationToken: graceful first, hard after a further grace. Every
+//      escalation is recorded in obs metrics.
+//   4. Crash recovery — admission writes a durable manifest
+//      (serve/session_manifest) next to the session's checkpoint chain;
+//      RecoverSessions() re-admits every session whose manifest survived a
+//      crash/eviction, resuming bit-exactly from the newest verifying
+//      checkpoint generation. Repeatedly failing sessions are abandoned
+//      after max_recovery_attempts so recovery cannot crash-loop.
+//
+// Threading: Submit/Drain/Shutdown/Reports are safe from any thread.
+// Sessions share only immutable state (the snapshot) and the thread-safe
+// obs registry; every mutable object (strategy, oracle chain, Rng, trace)
+// is per-session.
+#ifndef VERITAS_SERVE_SESSION_SUPERVISOR_H_
+#define VERITAS_SERVE_SESSION_SUPERVISOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "model/database.h"
+#include "model/ground_truth.h"
+#include "serve/session_manifest.h"
+#include "util/cancellation.h"
+#include "util/resource_budget.h"
+#include "util/result.h"
+
+namespace veritas {
+
+/// Supervisor knobs.
+struct SupervisorOptions {
+  /// Worker threads = concurrently running sessions.
+  std::size_t max_concurrent_sessions = 4;
+  /// Admissions waiting beyond the running ones; Submit sheds past this.
+  std::size_t max_queue_depth = 16;
+  /// Directory for manifests + checkpoint chains (required; created if
+  /// missing). One supervisor per directory.
+  std::string sessions_dir;
+  /// Deadline for specs that do not set one (<= 0 = none).
+  long default_deadline_ms = 0;
+  /// Budget for specs that do not set one (unlimited = none).
+  ResourceBudget default_budget;
+  /// Watchdog scan period.
+  std::chrono::milliseconds watchdog_poll{10};
+  /// Grace past a session's deadline before the graceful escalation — the
+  /// session's own round-boundary check should normally win this race; the
+  /// watchdog only fires for sessions stuck inside a round.
+  std::chrono::milliseconds watchdog_grace{50};
+  /// Grace after the graceful escalation before the hard stop.
+  std::chrono::milliseconds watchdog_hard_grace{100};
+  /// Recovery re-admissions per session before it is abandoned (manifest
+  /// removed, checkpoint kept for forensics).
+  std::size_t max_recovery_attempts = 3;
+  /// Keep each session's full SessionTrace in its report (tests, small
+  /// fleets). Off by default: a stress run would retain every fleet
+  /// member's posteriors.
+  bool keep_traces = false;
+};
+
+/// Terminal state of one admission.
+enum class SessionOutcome {
+  kCompleted = 0,  ///< Ran to its validation budget; artifacts cleaned up.
+  kEvicted,        ///< Resource budget breach; checkpointed + recoverable.
+  kCancelled,      ///< Deadline/watchdog/operator stop; recoverable.
+  kFailed,         ///< Hard error; manifest removed (no recovery loop).
+};
+const char* SessionOutcomeName(SessionOutcome outcome);
+
+/// What happened to one admission (one Submit or one recovery re-admission;
+/// a session evicted and later recovered produces several reports).
+struct SessionReport {
+  std::string id;
+  SessionOutcome outcome = SessionOutcome::kFailed;
+  Status status;             ///< The session's final status verbatim.
+  bool resumed = false;      ///< Started from an existing checkpoint.
+  bool recovered = false;    ///< Admitted by the recovery sweep.
+  std::size_t num_validated = 0;  ///< Cumulative, including resumed rounds.
+  std::size_t rounds = 0;         ///< Recorded steps at the end of the run.
+  double queue_wait_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Full trace (final fusion included) when SupervisorOptions::keep_traces.
+  SessionTrace trace;
+};
+
+/// Owns the worker pool, watchdog and per-admission lifecycle over one
+/// shared snapshot. The snapshot must outlive the supervisor.
+class SessionSupervisor {
+ public:
+  SessionSupervisor(const Database& db, const GroundTruth& truth,
+                    SupervisorOptions options);
+  /// Blocks until every admitted session reached a terminal state.
+  ~SessionSupervisor();
+
+  SessionSupervisor(const SessionSupervisor&) = delete;
+  SessionSupervisor& operator=(const SessionSupervisor&) = delete;
+
+  /// Creates the sessions directory and spawns workers + watchdog. Must be
+  /// called (once) before Submit/RecoverSessions.
+  Status Start();
+
+  /// Admission control. Rejects with ResourceExhausted when the queue is
+  /// full (supervisor.shed), InvalidArgument for a bad id or a duplicate of
+  /// a queued/running session, FailedPrecondition before Start/after
+  /// Shutdown. On success the manifest is durable before Submit returns.
+  Status Submit(SessionSpec spec);
+
+  /// Recovery sweep: re-admits every session with a surviving manifest,
+  /// resuming from its checkpoint chain. Recovered sessions bypass the
+  /// shed check (they were admitted once already; at startup the queue is
+  /// empty anyway). Returns the number re-admitted. Sessions past
+  /// max_recovery_attempts are abandoned (supervisor.recovery_abandoned).
+  std::size_t RecoverSessions();
+
+  /// Blocks until the queue is empty and no session is running.
+  void Drain();
+
+  /// Stops accepting, drains, and joins all threads. Idempotent.
+  void Shutdown();
+
+  std::size_t running_sessions() const;
+  std::size_t queued_sessions() const;
+
+  /// Reports of every terminal admission so far, in completion order.
+  std::vector<SessionReport> Reports() const;
+  /// The newest report for `id`, or nullopt-like empty optional.
+  bool FindReport(const std::string& id, SessionReport* out) const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    SessionSpec spec;
+    std::chrono::steady_clock::time_point enqueued;
+    bool recovered = false;
+  };
+  /// Watchdog view of a running session. The token lives here (stable
+  /// address, heap-allocated) for the whole run.
+  struct Running {
+    CancellationToken token;
+    Deadline deadline;
+    int escalation = 0;  // 0 = none, 1 = graceful sent, 2 = hard sent.
+    bool expired_seen = false;
+    std::chrono::steady_clock::time_point expired_seen_at;
+    std::chrono::steady_clock::time_point escalated_at;
+  };
+
+  void WorkerLoop();
+  void WatchdogLoop();
+  /// Runs one admitted session start to terminal state. `run` is the
+  /// Running entry registered for it (owned by running_ while inside).
+  SessionReport RunOne(const Pending& item, Running* run);
+
+  const Database& db_;
+  const GroundTruth& truth_;
+  const SupervisorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers: queue non-empty or stopping.
+  std::condition_variable idle_cv_;   // Drain: queue empty and none running.
+  // The watchdog polls on its own condition variable: sharing work_cv_ would
+  // let its wait_for consume a notify_one meant for a worker (lost wakeup).
+  std::condition_variable watchdog_cv_;
+  std::deque<Pending> queue_;
+  std::size_t admitting_ = 0;  // Ids reserved but not yet enqueued (their
+                               // manifest write is in flight outside mu_);
+                               // counted toward the queue depth.
+  std::map<std::string, std::unique_ptr<Running>> running_;
+  std::set<std::string> active_ids_;  // Queued or running.
+  std::vector<SessionReport> reports_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  bool started_ = false;
+  bool stopping_ = false;        // Workers: drain the queue, then exit.
+  bool watchdog_stop_ = false;   // Watchdog: exit now (set after workers).
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_SERVE_SESSION_SUPERVISOR_H_

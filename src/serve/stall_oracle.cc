@@ -1,0 +1,58 @@
+#include "serve/stall_oracle.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace veritas {
+
+namespace {
+// Poll granularity of the simulated transport. Coarse enough to be cheap,
+// fine enough that a watchdog hard stop is observed within ~a millisecond.
+constexpr std::chrono::milliseconds kPollSlice{1};
+}  // namespace
+
+StallOracle::StallOracle(FeedbackOracle* inner,
+                         const CancellationToken* cancel,
+                         double stall_seconds)
+    : inner_(inner), cancel_(cancel), stall_seconds_(stall_seconds) {}
+
+StallOracle::StallOracle(std::unique_ptr<FeedbackOracle> inner,
+                         const CancellationToken* cancel,
+                         double stall_seconds)
+    : inner_(inner.get()),
+      owned_(std::move(inner)),
+      cancel_(cancel),
+      stall_seconds_(stall_seconds) {}
+
+std::string StallOracle::name() const {
+  return "stall(" + inner_->name() + ")";
+}
+
+Result<std::vector<double>> StallOracle::Answer(const Database& db,
+                                                ItemId item,
+                                                const GroundTruth& truth,
+                                                Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stall_for = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(stall_seconds_));
+  while (std::chrono::steady_clock::now() - start < stall_for) {
+    if (HardStopRequested(cancel_)) {
+      ++cancelled_calls_;
+      return Status::Unavailable("stalled oracle call cancelled");
+    }
+    std::this_thread::sleep_for(kPollSlice);
+  }
+  return inner_->Answer(db, item, truth, rng);
+}
+
+std::string StallOracle::SerializeState() const {
+  return inner_->SerializeState();
+}
+
+Status StallOracle::RestoreState(const std::string& state) {
+  return inner_->RestoreState(state);
+}
+
+}  // namespace veritas

@@ -1,0 +1,57 @@
+// StallOracle: simulates the hung validation RPC the supervisor's watchdog
+// exists for. A real expert UI or crowd platform call can block far past any
+// deadline without failing; the only way out is a transport-level cancel.
+// StallOracle reproduces that shape deterministically: Answer() blocks in
+// short sleep slices — like a transport polling its cancel flag — until a
+// *hard* stop is requested on the session's CancellationToken or the
+// configured stall elapses. Graceful stops are deliberately ignored: a stuck
+// RPC cannot observe round boundaries, which is exactly why the watchdog
+// must escalate to a hard stop.
+#ifndef VERITAS_SERVE_STALL_ORACLE_H_
+#define VERITAS_SERVE_STALL_ORACLE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/oracle.h"
+#include "util/cancellation.h"
+
+namespace veritas {
+
+class StallOracle : public FeedbackOracle {
+ public:
+  /// Non-owning inner; `cancel` may be null (then the stall always runs its
+  /// full `stall_seconds` course).
+  StallOracle(FeedbackOracle* inner, const CancellationToken* cancel,
+              double stall_seconds);
+  /// Owning variant for factory-built chains.
+  StallOracle(std::unique_ptr<FeedbackOracle> inner,
+              const CancellationToken* cancel, double stall_seconds);
+
+  std::string name() const override;
+
+  /// Blocks until a hard stop or `stall_seconds`, whichever first. A hard
+  /// stop fails the call with Status::Unavailable ("stalled oracle call
+  /// cancelled"); surviving the full stall forwards to the inner oracle
+  /// (a slow-but-eventually-successful call).
+  Result<std::vector<double>> Answer(const Database& db, ItemId item,
+                                     const GroundTruth& truth,
+                                     Rng* rng) override;
+
+  /// Calls that were cut short by a hard stop.
+  std::size_t cancelled_calls() const { return cancelled_calls_; }
+
+  std::string SerializeState() const override;
+  Status RestoreState(const std::string& state) override;
+
+ private:
+  FeedbackOracle* inner_;
+  std::unique_ptr<FeedbackOracle> owned_;
+  const CancellationToken* cancel_;
+  double stall_seconds_;
+  std::size_t cancelled_calls_ = 0;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_SERVE_STALL_ORACLE_H_

@@ -1,0 +1,35 @@
+#include "util/resource_budget.h"
+
+namespace veritas {
+
+BudgetVerdict CheckBudget(const ResourceBudget& budget,
+                          const ResourceUsage& usage) {
+  if (budget.max_approx_bytes > 0 &&
+      usage.approx_bytes > budget.max_approx_bytes) {
+    return BudgetVerdict::kBytesExceeded;
+  }
+  if (budget.max_rounds_per_run > 0 &&
+      usage.rounds_this_run >= budget.max_rounds_per_run) {
+    return BudgetVerdict::kRoundsExceeded;
+  }
+  return BudgetVerdict::kWithin;
+}
+
+std::string DescribeBudgetBreach(BudgetVerdict verdict,
+                                 const ResourceBudget& budget,
+                                 const ResourceUsage& usage) {
+  switch (verdict) {
+    case BudgetVerdict::kWithin:
+      return "";
+    case BudgetVerdict::kBytesExceeded:
+      return "approx bytes " + std::to_string(usage.approx_bytes) +
+             " > budget " + std::to_string(budget.max_approx_bytes);
+    case BudgetVerdict::kRoundsExceeded:
+      return "validation rounds this run " +
+             std::to_string(usage.rounds_this_run) + " >= quota " +
+             std::to_string(budget.max_rounds_per_run);
+  }
+  return "";
+}
+
+}  // namespace veritas

@@ -1,0 +1,63 @@
+// Per-session resource budgets for the multi-session supervisor. A server
+// hosting many concurrent feedback sessions over a shared snapshot cannot
+// let one tenant grow its priors/trace/fusion state without bound or spin
+// validation rounds forever: when a session's budget is spent it is evicted
+// to its durable checkpoint (the PR 4 recovery chain) and can be re-admitted
+// later, instead of degrading every co-resident session.
+//
+// Accounting is *approximate by design*: the tracked bytes are an estimate
+// of the session's dominant heap state (priors, recorded steps, fusion
+// posteriors), not an allocator audit. The point is a stable, cheap,
+// deterministic trip wire — the same session always evicts at the same
+// round — not a malloc-accurate gauge.
+#ifndef VERITAS_UTIL_RESOURCE_BUDGET_H_
+#define VERITAS_UTIL_RESOURCE_BUDGET_H_
+
+#include <cstddef>
+#include <string>
+
+namespace veritas {
+
+/// Limits for one session. Zero means unlimited for each field, so the
+/// struct can sit in an options struct without an optional wrapper.
+struct ResourceBudget {
+  /// Cap on the session's approximate resident bytes (see ResourceUsage).
+  std::size_t max_approx_bytes = 0;
+  /// Cap on validation rounds executed in one admission ("per run", not
+  /// lifetime): a resumed session gets a fresh quota, so eviction/resume
+  /// cycles always make progress and terminate.
+  std::size_t max_rounds_per_run = 0;
+
+  /// True when any limit is set.
+  bool limited() const {
+    return max_approx_bytes > 0 || max_rounds_per_run > 0;
+  }
+};
+
+/// A session's consumption, measured at a round boundary.
+struct ResourceUsage {
+  std::size_t approx_bytes = 0;
+  std::size_t rounds_this_run = 0;
+};
+
+/// Which limit (if any) `usage` has tripped.
+enum class BudgetVerdict {
+  kWithin = 0,
+  kBytesExceeded,
+  kRoundsExceeded,
+};
+
+/// Checks `usage` against `budget`. Byte pressure outranks the round quota
+/// when both trip (memory is the limit that endangers co-resident sessions).
+BudgetVerdict CheckBudget(const ResourceBudget& budget,
+                          const ResourceUsage& usage);
+
+/// Human-readable breach description for eviction status messages, e.g.
+/// "approx bytes 123456 > budget 65536". Empty for kWithin.
+std::string DescribeBudgetBreach(BudgetVerdict verdict,
+                                 const ResourceBudget& budget,
+                                 const ResourceUsage& usage);
+
+}  // namespace veritas
+
+#endif  // VERITAS_UTIL_RESOURCE_BUDGET_H_

@@ -11,11 +11,13 @@
 #ifndef VERITAS_UTIL_RETRY_H_
 #define VERITAS_UTIL_RETRY_H_
 
+#include <chrono>
 #include <cstddef>
 #include <limits>
 #include <utility>
 #include <vector>
 
+#include "util/cancellation.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -36,6 +38,15 @@ struct RetryPolicy {
   /// Overall virtual-time budget: retrying stops once the accumulated
   /// backoff would exceed this.
   double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Wall-clock session deadline (e.g. SessionOptions::deadline). Retrying
+  /// stops — reporting the attempts made so far — once the deadline has
+  /// expired or the next backoff would overrun the time remaining, instead
+  /// of burning schedule past `--deadline-ms`. Default: never expires.
+  Deadline session_deadline;
+  /// Cooperative cancellation (not owned; may be null). A stop request of
+  /// any severity abandons the retry loop before the next attempt: an
+  /// operator cancelling a session must not wait out a backoff schedule.
+  const CancellationToken* cancel = nullptr;
   /// Codes worth retrying; everything else fails fast.
   std::vector<StatusCode> retryable_codes = {StatusCode::kUnavailable,
                                              StatusCode::kDeadlineExceeded};
@@ -51,21 +62,31 @@ struct RetryPolicy {
 struct RetryStats {
   std::size_t attempts = 0;               ///< Tries actually made.
   double total_backoff_seconds = 0.0;     ///< Virtual backoff accumulated.
-  bool deadline_expired = false;          ///< Stopped by the deadline.
+  bool deadline_expired = false;          ///< Stopped by a deadline (virtual
+                                          ///< budget or session wall clock).
+  bool cancelled = false;                 ///< Stopped by a cancel request.
   Status last_error = Status::OK();       ///< Last non-OK status observed.
 };
 
 /// Runs `fn` (returning Result<T>) until it succeeds, a non-retryable error
-/// occurs, attempts run out, or the virtual deadline expires. `stats` and
-/// `rng` may be null. Returns the successful value, the first non-retryable
-/// error, or — after exhaustion — the last transient error (wrapped in
-/// DeadlineExceeded when the deadline ended the loop).
+/// occurs, attempts run out, the virtual deadline expires, the session
+/// deadline is (or would be) overrun, or a cancellation is requested.
+/// `stats` and `rng` may be null. Returns the successful value, the first
+/// non-retryable error, or — after exhaustion — the last transient error
+/// (wrapped in DeadlineExceeded when a deadline or cancellation ended the
+/// loop, with the attempts made so far in the message).
 template <typename T, typename Fn>
 Result<T> RetryCall(const RetryPolicy& policy, Fn&& fn, Rng* rng = nullptr,
                     RetryStats* stats = nullptr) {
   RetryStats local;
   RetryStats& s = stats ? *stats : local;
   s = RetryStats();
+  const auto abandoned = [&s](const char* why) {
+    return Status::DeadlineExceeded(
+        std::string("retry abandoned (") + why + ") after " +
+        std::to_string(s.attempts) + " attempt(s); last error: " +
+        s.last_error.ToString());
+  };
   const std::size_t max_attempts = policy.max_attempts > 0
                                        ? policy.max_attempts
                                        : static_cast<std::size_t>(1);
@@ -76,7 +97,24 @@ Result<T> RetryCall(const RetryPolicy& policy, Fn&& fn, Rng* rng = nullptr,
     s.last_error = result.status();
     if (!policy.IsRetryable(result.status().code())) return result;
     if (attempt == max_attempts) return result;
+    // Real-time bounds, checked before the backoff is even scheduled: a
+    // cancelled or out-of-time session must not keep consuming schedule.
+    if (StopRequested(policy.cancel)) {
+      s.cancelled = true;
+      return abandoned("cancellation requested");
+    }
     const double backoff = policy.BackoffSeconds(attempt, rng);
+    if (policy.session_deadline.has_deadline()) {
+      const double remaining =
+          std::chrono::duration<double>(policy.session_deadline.remaining())
+              .count();
+      // Virtual backoff accounts against the wall clock left: retrying past
+      // the session deadline would only delay the eviction/stop path.
+      if (remaining <= 0.0 || s.total_backoff_seconds + backoff > remaining) {
+        s.deadline_expired = true;
+        return abandoned("session deadline would be overrun");
+      }
+    }
     if (s.total_backoff_seconds + backoff > policy.deadline_seconds) {
       s.deadline_expired = true;
       return Status::DeadlineExceeded(

@@ -20,9 +20,12 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
-  kUnavailable,       ///< Transient failure; retrying may succeed.
-  kDeadlineExceeded,  ///< The operation (or its retry budget) timed out.
-  kAbstained,         ///< The answering party declined; retrying is futile.
+  kUnavailable,        ///< Transient failure; retrying may succeed.
+  kDeadlineExceeded,   ///< The operation (or its retry budget) timed out.
+  kAbstained,          ///< The answering party declined; retrying is futile.
+  kResourceExhausted,  ///< A quota/capacity limit tripped (admission queue
+                       ///< full, session budget spent); retry later or with
+                       ///< a smaller request. Evicted sessions are resumable.
 };
 
 /// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -67,6 +70,9 @@ class Status {
   }
   static Status Abstained(std::string msg) {
     return Status(StatusCode::kAbstained, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -121,6 +121,55 @@ TEST(HistogramTest, FirstGetFixesEdges) {
   EXPECT_EQ(a->Snapshot().edges, (std::vector<double>{1.0, 2.0}));
 }
 
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.empty", {1.0});
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinTheBucket) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.interp", {10.0, 20.0});
+  hist->Observe(5.0);
+  hist->Observe(15.0);
+  hist->Observe(15.0);
+  hist->Observe(15.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  // Rank 1 of 4 falls in the first bucket [min=5, 10]; the linear
+  // interpolation walks the whole single-observation bucket.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.25), 10.0);
+  // Rank 2 of 4 is the first of three observations in (10, 20].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 10.0 + 10.0 / 3.0);
+  // Rank 4 interpolates to the bucket's upper edge, then clamps to max.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 15.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 15.0);
+}
+
+TEST(HistogramTest, QuantileClampsToObservedRange) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.clamp", {10.0});
+  hist->Observe(4.0);
+  hist->Observe(6.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  // Bucket interpolation would give 7.0 and 10.0; the true observations
+  // never exceeded 6, so the estimate is clamped there.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 6.0);
+  EXPECT_GE(snap.Quantile(0.0), 4.0);
+}
+
+TEST(HistogramTest, QuantileUsesMaxAsTheOverflowEdge) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("q.overflow", {1.0});
+  hist->Observe(0.5);
+  hist->Observe(100.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  // The overflow bucket has no finite edge; max stands in for it.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 100.0);
+}
+
 TEST(MetricsRegistryTest, ResetZeroesButKeepsInstruments) {
   MetricsRegistry registry;
   Counter* counter = registry.GetCounter("c");

@@ -1,0 +1,77 @@
+// Resource budget semantics: zero fields mean unlimited, the byte limit is
+// exclusive (`>`), the per-run round quota is inclusive (`>=`, the quota is
+// "rounds allowed this run"), and a byte breach outranks a round breach in
+// the verdict (memory pressure is the more urgent eviction signal).
+#include <gtest/gtest.h>
+
+#include "util/resource_budget.h"
+
+namespace veritas {
+namespace {
+
+TEST(ResourceBudgetTest, DefaultIsUnlimited) {
+  ResourceBudget budget;
+  EXPECT_FALSE(budget.limited());
+  ResourceUsage usage;
+  usage.approx_bytes = 1u << 30;
+  usage.rounds_this_run = 1000000;
+  EXPECT_EQ(CheckBudget(budget, usage), BudgetVerdict::kWithin);
+}
+
+TEST(ResourceBudgetTest, EitherFieldMakesItLimited) {
+  ResourceBudget bytes_only;
+  bytes_only.max_approx_bytes = 1;
+  EXPECT_TRUE(bytes_only.limited());
+  ResourceBudget rounds_only;
+  rounds_only.max_rounds_per_run = 1;
+  EXPECT_TRUE(rounds_only.limited());
+}
+
+TEST(ResourceBudgetTest, ByteLimitIsExclusive) {
+  ResourceBudget budget;
+  budget.max_approx_bytes = 100;
+  ResourceUsage usage;
+  usage.approx_bytes = 100;
+  EXPECT_EQ(CheckBudget(budget, usage), BudgetVerdict::kWithin);
+  usage.approx_bytes = 101;
+  EXPECT_EQ(CheckBudget(budget, usage), BudgetVerdict::kBytesExceeded);
+}
+
+TEST(ResourceBudgetTest, RoundQuotaIsInclusive) {
+  ResourceBudget budget;
+  budget.max_rounds_per_run = 3;
+  ResourceUsage usage;
+  usage.rounds_this_run = 2;
+  EXPECT_EQ(CheckBudget(budget, usage), BudgetVerdict::kWithin);
+  usage.rounds_this_run = 3;  // Quota spent: the 3rd round was the last.
+  EXPECT_EQ(CheckBudget(budget, usage), BudgetVerdict::kRoundsExceeded);
+}
+
+TEST(ResourceBudgetTest, BytesOutrankRounds) {
+  ResourceBudget budget;
+  budget.max_approx_bytes = 10;
+  budget.max_rounds_per_run = 1;
+  ResourceUsage usage;
+  usage.approx_bytes = 11;
+  usage.rounds_this_run = 5;
+  EXPECT_EQ(CheckBudget(budget, usage), BudgetVerdict::kBytesExceeded);
+}
+
+TEST(ResourceBudgetTest, BreachDescriptionNamesTheNumbers) {
+  ResourceBudget budget;
+  budget.max_approx_bytes = 10;
+  budget.max_rounds_per_run = 2;
+  ResourceUsage usage;
+  usage.approx_bytes = 11;
+  usage.rounds_this_run = 2;
+  const std::string bytes_msg =
+      DescribeBudgetBreach(BudgetVerdict::kBytesExceeded, budget, usage);
+  EXPECT_NE(bytes_msg.find("11"), std::string::npos) << bytes_msg;
+  EXPECT_NE(bytes_msg.find("10"), std::string::npos) << bytes_msg;
+  const std::string rounds_msg =
+      DescribeBudgetBreach(BudgetVerdict::kRoundsExceeded, budget, usage);
+  EXPECT_NE(rounds_msg.find("2"), std::string::npos) << rounds_msg;
+}
+
+}  // namespace
+}  // namespace veritas

@@ -148,6 +148,109 @@ TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredBand) {
   }
 }
 
+TEST(RetryCallTest, ExpiredSessionDeadlineAbandonsAfterTheCurrentAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.session_deadline = Deadline::AfterMillis(0);
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 10;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // The attempts made so far are reported, and no schedule was burned past
+  // the wall clock.
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_TRUE(stats.deadline_expired);
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_NE(result.status().message().find("session deadline"),
+            std::string::npos)
+      << result.status();
+  EXPECT_NE(result.status().message().find("1 attempt"), std::string::npos)
+      << result.status();
+  EXPECT_EQ(fn.calls, 1u);
+}
+
+TEST(RetryCallTest, BackoffThatWouldOverrunTheSessionDeadlineIsNotTaken) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_seconds = 3600.0;  // Far beyond any test deadline.
+  policy.max_backoff_seconds = 3600.0;      // Keep the cap out of the way.
+  policy.session_deadline = Deadline::AfterMillis(60000);
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 10;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_TRUE(stats.deadline_expired);
+}
+
+TEST(RetryCallTest, GenerousSessionDeadlineDoesNotChangeTheSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.session_deadline = Deadline::AfterMillis(60000);
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 2;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_FALSE(stats.deadline_expired);
+}
+
+TEST(RetryCallTest, CancellationAbandonsBeforeTheNextAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  CancellationToken token;
+  token.RequestStop();  // Graceful is enough: no backoff should be waited.
+  policy.cancel = &token;
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 10;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_FALSE(stats.deadline_expired);
+  EXPECT_EQ(fn.calls, 1u);  // The in-flight attempt finished; no retry.
+  EXPECT_NE(result.status().message().find("cancellation requested"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(RetryCallTest, CancellationMidLoopStopsFurtherRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  CancellationToken token;
+  policy.cancel = &token;
+  RetryStats stats;
+  std::size_t calls = 0;
+  const auto fn = [&]() -> Result<int> {
+    if (++calls == 2) token.RequestStop();  // Operator cancels mid-retry.
+    return Status::Unavailable("transient");
+  };
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_TRUE(stats.cancelled);
+}
+
+TEST(RetryCallTest, NullCancelTokenRetriesAsBefore) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.cancel = nullptr;
+  RetryStats stats;
+  FlakyFn fn;
+  fn.failures = 2;
+  const auto result = RetryCall<int>(policy, fn, nullptr, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_FALSE(stats.cancelled);
+}
+
 TEST(RetryPolicyTest, RetryableCodesAreConfigurable) {
   RetryPolicy policy;
   EXPECT_TRUE(policy.IsRetryable(StatusCode::kUnavailable));

@@ -229,11 +229,26 @@ Status RunSession(const ArgMap& args) {
         oracle_ptr, plan, static_cast<std::uint64_t>(seed));
     oracle_ptr = flaky.get();
   }
+  // The wall-clock budget is parsed before the retry decorator so the retry
+  // policy can refuse backoffs that would overrun it (see below where the
+  // same deadline bounds the session itself).
+  Deadline session_deadline;
+  if (args.Has("deadline-ms")) {
+    VERITAS_ASSIGN_OR_RETURN(long deadline_ms, args.GetInt("deadline-ms", 0));
+    if (deadline_ms < 0) {
+      return Status::InvalidArgument("--deadline-ms must be >= 0");
+    }
+    session_deadline = Deadline::AfterMillis(deadline_ms);
+  }
   std::unique_ptr<RetryingOracle> retrying;
   VERITAS_ASSIGN_OR_RETURN(long retries, args.GetInt("retries", 0));
   if (retries > 0) {
     RetryPolicy policy;
     policy.max_attempts = static_cast<std::size_t>(retries) + 1;
+    // Retrying must not outlive the session: stop scheduling backoff once
+    // the deadline is near, and abandon the loop outright on Ctrl-C.
+    policy.session_deadline = session_deadline;
+    policy.cancel = &g_session_cancel;
     retrying = std::make_unique<RetryingOracle>(oracle_ptr, policy);
     oracle_ptr = retrying.get();
   }
@@ -259,13 +274,7 @@ Status RunSession(const ArgMap& args) {
   // DeadlineExceeded, which main() maps to exit code 3 (distinct from hard
   // errors) so scripts can distinguish "interrupted, resume me" from
   // "failed".
-  if (args.Has("deadline-ms")) {
-    VERITAS_ASSIGN_OR_RETURN(long deadline_ms, args.GetInt("deadline-ms", 0));
-    if (deadline_ms < 0) {
-      return Status::InvalidArgument("--deadline-ms must be >= 0");
-    }
-    options.deadline = Deadline::AfterMillis(deadline_ms);
-  }
+  options.deadline = session_deadline;
   options.cancel = &g_session_cancel;
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
