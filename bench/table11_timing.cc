@@ -11,10 +11,13 @@
 // decision-theoretic methods; Approx-MEU roughly two orders of magnitude
 // faster than MEU. Absolute numbers differ (C++ vs Java, scaled datasets).
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/meu.h"
 #include "core/oracle.h"
 #include "core/session.h"
 #include "core/strategy_factory.h"
@@ -150,6 +153,49 @@ double MeanSelectSeconds(const NamedDataset& dataset,
                          std::size_t actions, bool use_delta = true) {
   AccuFusion model;
   return MeanSelectSeconds(dataset, model, strategy_name, actions, use_delta);
+}
+
+// One pruned delta-MEU session at a given lane count: mean select time, the
+// exact selected-item sequence (the determinism witness CI diffs across
+// thread counts), and the scan's pruning/steal counters.
+struct ThreadSweepRun {
+  double mean_select_seconds = -1.0;
+  std::string selected;  // Space-joined item ids in validation order.
+  std::size_t candidates_pruned = 0;
+  std::size_t pool_steals = 0;
+};
+
+ThreadSweepRun RunMeuSession(const NamedDataset& dataset, Strategy* strategy,
+                             std::size_t actions) {
+  ThreadSweepRun out;
+  AccuFusion model;
+  PerfectOracle oracle;
+  SessionOptions options;
+  options.max_validations = actions;
+  options.record_metrics = false;
+  options.fusion.use_delta_fusion = true;
+  Rng rng(7);
+  MetricsRegistry::Global().Reset();
+  FeedbackSession session(dataset.data.db, model, strategy, &oracle,
+                          dataset.data.truth, options, &rng);
+  auto trace = session.Run();
+  if (!trace.ok()) return out;
+  out.mean_select_seconds = trace->MeanSelectSeconds();
+  std::ostringstream sel;
+  bool first = true;
+  for (const SessionStep& step : trace->steps) {
+    for (ItemId item : step.items) {
+      if (!first) sel << " ";
+      sel << item;
+      first = false;
+    }
+  }
+  out.selected = sel.str();
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  out.candidates_pruned =
+      static_cast<std::size_t>(snap.Value("meu.candidates_pruned"));
+  out.pool_steals = static_cast<std::size_t>(snap.Value("meu.pool_steals"));
+  return out;
 }
 
 template <typename Fn>
@@ -294,6 +340,40 @@ int WriteBenchJson(const std::string& path, ScaleMode mode) {
              static_cast<std::size_t>(phases.Value("oracle.retry.attempts")))
         .Set("oracle_retry_retries",
              static_cast<std::size_t>(phases.Value("oracle.retry.retries")));
+
+    // Thread sweep over the pruned work-stealing scan. The selected
+    // sequence must be identical at every lane count (the pool's
+    // determinism contract); CI diffs the 1-thread and 2-thread strings and
+    // asserts candidates_pruned > 0.
+    MeuScanOptions no_prune;
+    no_prune.prune = false;
+    MeuStrategy unpruned_meu(1, no_prune);
+    const double meu_delta_unpruned_s =
+        RunMeuSession(dataset, &unpruned_meu, actions).mean_select_seconds;
+    ThreadSweepRun one_thread;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      MeuStrategy pruned_meu(threads);
+      const ThreadSweepRun run = RunMeuSession(dataset, &pruned_meu, actions);
+      if (threads == 1) one_thread = run;
+      json.Add("table11_threads")
+          .Set("dataset", dataset.name)
+          .Set("threads", threads)
+          .Set("meu_step_delta_seconds", run.mean_select_seconds)
+          .Set("meu_step_unpruned_seconds", meu_delta_unpruned_s)
+          .Set("candidates_pruned", run.candidates_pruned)
+          .Set("pool_steals", run.pool_steals)
+          .Set("selected", run.selected)
+          .Set("selected_matches_1t", run.selected == one_thread.selected)
+          .Set("speedup_vs_1t",
+               run.mean_select_seconds > 0.0
+                   ? one_thread.mean_select_seconds / run.mean_select_seconds
+                   : 0.0)
+          .Set("speedup_vs_unpruned",
+               run.mean_select_seconds > 0.0
+                   ? meu_delta_unpruned_s / run.mean_select_seconds
+                   : 0.0);
+    }
   }
   json.Add("meu_speedup")
       .Set("total_baseline_seconds", total_baseline_s)

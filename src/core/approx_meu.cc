@@ -125,7 +125,7 @@ double ApproxMeuStrategy::ExpectedEntropyAfterValidation(
 
 std::vector<double> ApproxMeuStrategy::ScoreCandidates(
     const StrategyContext& ctx, const std::vector<ItemId>& candidates,
-    const std::vector<bool>* impact_filter) {
+    const std::vector<bool>* impact_filter, ThreadPool* pool) {
   assert(ctx.graph != nullptr && "ApproxMeu requires ctx.graph");
   VERITAS_SPAN("strategy.approx_meu.score");
   static Counter* lookaheads =
@@ -145,35 +145,43 @@ std::vector<double> ApproxMeuStrategy::ScoreCandidates(
     total_entropy += item_entropy[i];
   }
 
-  std::vector<double> gains;
-  gains.reserve(candidates.size());
-  std::vector<ItemId> neighbors;
-  for (ItemId i : candidates) {
-    // Hard stop: abandon the scan, keeping `gains` parallel to `candidates`
-    // for TopKByScore (the session discards the round anyway).
-    if (HardStopRequested(ctx.cancel)) {
-      gains.resize(candidates.size(), 0.0);
-      break;
-    }
-    ctx.graph->CollectNeighbors(i, &neighbors);
-    double expected = 0.0;
-    for (ClaimIndex t = 0; t < db.num_claims(i); ++t) {
-      const double pt = fusion.prob(i, t);
-      if (pt <= 0.0) continue;
-      const AccuracyDeltas deltas = ComputeAccuracyDeltas(db, fusion, i, t);
-      double estimate = total_entropy - item_entropy[i];
-      for (ItemId j : neighbors) {
-        if (ctx.priors->Has(j)) continue;
-        if (impact_filter != nullptr && !(*impact_filter)[j]) continue;
-        if (db.num_claims(j) <= 1) continue;
-        const std::vector<double> updated =
-            EstimateUpdatedProbs(db, fusion, j, deltas);
-        estimate += Entropy(updated) - item_entropy[j];
+  std::vector<double> gains(candidates.size(), 0.0);
+  const ThreadPool::Body body = [&](std::size_t lane, std::size_t begin,
+                                    std::size_t end) {
+    (void)lane;
+    std::vector<ItemId> neighbors;  // Per-chunk scratch.
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      // Hard stop: abandon the scan; `gains` stays parallel to `candidates`
+      // for TopKByScore (the session discards the round anyway).
+      if (HardStopRequested(ctx.cancel)) return;
+      const ItemId i = candidates[idx];
+      ctx.graph->CollectNeighbors(i, &neighbors);
+      double expected = 0.0;
+      for (ClaimIndex t = 0; t < db.num_claims(i); ++t) {
+        const double pt = fusion.prob(i, t);
+        if (pt <= 0.0) continue;
+        const AccuracyDeltas deltas = ComputeAccuracyDeltas(db, fusion, i, t);
+        double estimate = total_entropy - item_entropy[i];
+        for (ItemId j : neighbors) {
+          if (ctx.priors->Has(j)) continue;
+          if (impact_filter != nullptr && !(*impact_filter)[j]) continue;
+          if (db.num_claims(j) <= 1) continue;
+          const std::vector<double> updated =
+              EstimateUpdatedProbs(db, fusion, j, deltas);
+          estimate += Entropy(updated) - item_entropy[j];
+        }
+        expected += pt * estimate;
       }
-      expected += pt * estimate;
+      // Delta EU_i of Eq. (13).
+      gains[idx] = total_entropy - expected;
     }
-    // Delta EU_i of Eq. (13).
-    gains.push_back(total_entropy - expected);
+  };
+  constexpr std::size_t kSerialCutoff = 32;
+  if (pool == nullptr || pool->lanes() <= 1 ||
+      candidates.size() < kSerialCutoff) {
+    body(/*lane=*/0, 0, candidates.size());
+  } else {
+    pool->ParallelFor(candidates.size(), /*chunk_size=*/8, body);
   }
   return gains;
 }
@@ -184,8 +192,11 @@ std::vector<ItemId> ApproxMeuStrategy::SelectBatch(const StrategyContext& ctx,
       "strategy.approx_meu.select_calls");
   select_calls->Add(1);
   const std::vector<ItemId> candidates = CandidateItems(ctx);
+  if (num_threads_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
   const std::vector<double> gains =
-      ScoreCandidates(ctx, candidates, /*impact_filter=*/nullptr);
+      ScoreCandidates(ctx, candidates, /*impact_filter=*/nullptr, pool_.get());
   return TopKByScore(candidates, gains, batch);
 }
 

@@ -25,9 +25,11 @@
 #ifndef VERITAS_CORE_APPROX_MEU_H_
 #define VERITAS_CORE_APPROX_MEU_H_
 
+#include <memory>
 #include <unordered_map>
 
 #include "core/strategy.h"
+#include "util/thread_pool.h"
 
 namespace veritas {
 
@@ -57,7 +59,15 @@ std::vector<double> EstimateUpdatedProbsLiteral(const Database& db,
 /// The Approx-MEU strategy.
 class ApproxMeuStrategy : public Strategy {
  public:
+  /// `num_threads` > 1 scores candidates concurrently on a persistent
+  /// work-stealing pool; the differential estimates are independent, so the
+  /// results are identical to the sequential run.
+  explicit ApproxMeuStrategy(std::size_t num_threads = 1)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
   std::string name() const override { return "approx_meu"; }
+
+  std::size_t num_threads() const { return num_threads_; }
 
   std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
                                   std::size_t batch) override;
@@ -71,10 +81,16 @@ class ApproxMeuStrategy : public Strategy {
       const std::vector<bool>* impact_filter);
 
   /// Scores Delta-EU (Eq. 13 gain) for each candidate; shared with the
-  /// hybrid strategy.
+  /// hybrid strategy. With a non-null `pool` (and enough candidates), the
+  /// scan fans out over its lanes; gains land in disjoint slots so the
+  /// result is lane-count independent.
   static std::vector<double> ScoreCandidates(
       const StrategyContext& ctx, const std::vector<ItemId>& candidates,
-      const std::vector<bool>* impact_filter);
+      const std::vector<bool>* impact_filter, ThreadPool* pool = nullptr);
+
+ private:
+  std::size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // Lazy; persists across rounds.
 };
 
 }  // namespace veritas

@@ -1,14 +1,11 @@
 #include "core/gub.h"
 
-#include <atomic>
 #include <cassert>
 #include <limits>
-#include <thread>
 
 #include "core/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/timer.h"
 
 namespace veritas {
 
@@ -56,9 +53,6 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
       MetricsRegistry::Global().GetCounter("strategy.gub.lookaheads");
   static Histogram* candidates_hist = MetricsRegistry::Global().GetHistogram(
       "strategy.gub.candidates", MetricsRegistry::CountEdges());
-  static Histogram* utilization_hist = MetricsRegistry::Global().GetHistogram(
-      "strategy.gub.worker_utilization",
-      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   const std::vector<ItemId> candidates = CandidateItems(ctx);
   select_calls->Add(1);
   lookaheads->Add(candidates.size());
@@ -67,41 +61,23 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
       GroundTruthUtility(*ctx.db, *ctx.fusion, *ctx.ground_truth);
 
   std::vector<double> gains(candidates.size(), 0.0);
-  const std::size_t workers = std::min(num_threads_, candidates.size());
-  if (workers <= 1) {
-    for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+  // Independent lookaheads written to disjoint slots: results are identical
+  // for every lane count (see MeuStrategy for the pool pattern).
+  const ThreadPool::Body body = [&](std::size_t lane, std::size_t begin,
+                                    std::size_t end) {
+    (void)lane;
+    for (std::size_t idx = begin; idx < end; ++idx) {
       // Hard stop: abandon the scan (the session discards the round).
-      if (HardStopRequested(ctx.cancel)) break;
+      if (HardStopRequested(ctx.cancel)) return;
       gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
     }
+  };
+  constexpr std::size_t kSerialCutoff = 32;
+  if (num_threads_ <= 1 || candidates.size() < kSerialCutoff) {
+    body(/*lane=*/0, 0, candidates.size());
   } else {
-    // Independent lookaheads; see MeuStrategy::SelectBatch for the scheme
-    // (including the per-worker utilization accounting).
-    Timer wall;
-    std::vector<double> busy_seconds(workers, 0.0);
-    std::atomic<std::size_t> next{0};
-    auto work = [&](std::size_t worker) {
-      Timer busy;
-      while (true) {
-        const std::size_t idx = next.fetch_add(1);
-        if (idx >= candidates.size() || HardStopRequested(ctx.cancel)) break;
-        gains[idx] = CandidateGain(ctx, candidates[idx], current_utility);
-      }
-      busy_seconds[worker] = busy.ElapsedSeconds();
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t t = 0; t + 1 < workers; ++t) {
-      pool.emplace_back(work, t + 1);
-    }
-    work(0);
-    for (std::thread& t : pool) t.join();
-    const double wall_seconds = wall.ElapsedSeconds();
-    if (wall_seconds > 0.0) {
-      for (double busy : busy_seconds) {
-        utilization_hist->Observe(busy / wall_seconds);
-      }
-    }
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+    pool_->ParallelFor(candidates.size(), /*chunk_size=*/4, body);
   }
   return TopKByScore(candidates, gains, batch);
 }

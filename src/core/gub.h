@@ -12,7 +12,10 @@
 #ifndef VERITAS_CORE_GUB_H_
 #define VERITAS_CORE_GUB_H_
 
+#include <memory>
+
 #include "core/strategy.h"
+#include "util/thread_pool.h"
 
 namespace veritas {
 
@@ -25,9 +28,10 @@ enum class GubMode {
 /// Ground-truth-utility VPI strategy (the paper's upper bound).
 class GubStrategy : public Strategy {
  public:
-  /// `num_threads` > 1 scores candidates concurrently (each candidate's
-  /// lookahead re-fusion is independent); results are identical to the
-  /// sequential run. Same thread-safety caveat as MeuStrategy.
+  /// `num_threads` > 1 scores candidates concurrently on a persistent
+  /// work-stealing pool (each candidate's lookahead re-fusion is
+  /// independent); results are identical to the sequential run. Small rounds
+  /// (< 32 candidates) run inline. Same thread-safety caveat as MeuStrategy.
   explicit GubStrategy(GubMode mode = GubMode::kOracle,
                        std::size_t num_threads = 1)
       : mode_(mode), num_threads_(num_threads == 0 ? 1 : num_threads) {}
@@ -47,6 +51,7 @@ class GubStrategy : public Strategy {
 
   GubMode mode_;
   std::size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // Lazy; persists across rounds.
 };
 
 }  // namespace veritas

@@ -1,15 +1,74 @@
 #include "core/meu.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <limits>
+#include <mutex>
 #include <optional>
-#include <thread>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/timer.h"
 
 namespace veritas {
+
+namespace {
+
+// A hypothesis this unlikely moves the pk-weighted expectation by less
+// than pk * |H_pinned| <~ 1e-9 nats — orders of magnitude below the
+// fusion tolerance, so the closed-form "pin without propagation" value
+// (pinned item drops to zero entropy, everything else keeps its base
+// value) stands in for the full lookahead.
+constexpr double kNegligiblePinMass = 1e-12;
+
+// Monotone non-decreasing pruning threshold: the top_k-th best *exact* gain
+// seen so far (-inf until top_k exact gains exist). Writers funnel through a
+// mutex-protected min-heap (top_k is tiny — the batch size); readers poll a
+// lock-free snapshot. A stale (smaller) read only weakens pruning, never
+// correctness, and monotonicity is what makes the bound admissible: a
+// candidate pruned against any intermediate threshold is provably below the
+// *final* top_k-th best exact gain too.
+class GainThreshold {
+ public:
+  explicit GainThreshold(std::size_t k) : k_(k) {}
+
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+
+  void Offer(double gain) {
+    if (k_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heap_.size() < k_) {
+      heap_.push(gain);
+    } else if (gain > heap_.top()) {
+      heap_.pop();
+      heap_.push(gain);
+    } else {
+      return;
+    }
+    if (heap_.size() == k_) {
+      value_.store(heap_.top(), std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  const std::size_t k_;
+  std::mutex mu_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap_;
+  std::atomic<double> value_{-std::numeric_limits<double>::infinity()};
+};
+
+void AtomicMaxDouble(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 double MeuStrategy::ExpectedEntropyAfterValidation(const StrategyContext& ctx,
                                                    ItemId item) {
@@ -38,12 +97,6 @@ double MeuStrategy::ExpectedEntropyAfterValidation(
     const DeltaFusionEngine::BaseState& base,
     DeltaFusionEngine::Workspace& ws) {
   const Database& db = *ctx.db;
-  // A hypothesis this unlikely moves the pk-weighted expectation by less
-  // than pk * |H_pinned| <~ 1e-9 nats — orders of magnitude below the
-  // fusion tolerance, so the closed-form "pin without propagation" value
-  // (pinned item drops to zero entropy, everything else keeps its base
-  // value) stands in for the full lookahead.
-  constexpr double kNegligiblePinMass = 1e-12;
   double expected = 0.0;
   for (ClaimIndex k = 0; k < db.num_claims(item); ++k) {
     const double pk = ctx.fusion->prob(item, k);
@@ -58,6 +111,177 @@ double MeuStrategy::ExpectedEntropyAfterValidation(
   return expected;
 }
 
+std::vector<std::size_t> MeuStrategy::ScanOrder(
+    const StrategyContext& ctx, const std::vector<ItemId>& candidates) const {
+  const std::size_t n = candidates.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> entropy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entropy[i] = ctx.fusion->ItemEntropy(candidates[i]);
+  }
+  constexpr std::size_t kUnseeded = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> rank(n, kUnseeded);
+  if (!seed_ranking_.empty()) {
+    std::unordered_map<ItemId, std::size_t> seed_rank;
+    seed_rank.reserve(seed_ranking_.size());
+    for (std::size_t r = 0; r < seed_ranking_.size(); ++r) {
+      seed_rank.emplace(seed_ranking_[r], r);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = seed_rank.find(candidates[i]);
+      if (it != seed_rank.end()) rank[i] = it->second;
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rank[a] != rank[b]) return rank[a] < rank[b];  // Seeded first.
+    if (entropy[a] != entropy[b]) return entropy[a] > entropy[b];
+    return candidates[a] < candidates[b];
+  });
+  return order;
+}
+
+std::vector<double> MeuStrategy::ScoreCandidateGains(
+    const StrategyContext& ctx, const std::vector<ItemId>& candidates,
+    std::size_t top_k, bool allow_prune) {
+  static Counter* pruned_counter =
+      MetricsRegistry::Global().GetCounter("meu.candidates_pruned");
+  static Counter* steals_counter =
+      MetricsRegistry::Global().GetCounter("meu.pool_steals");
+  // Largest observed gain / H_item ratio: the empirical check on the
+  // prune_margin_rel bound (must stay below 1 + margin; see DESIGN.md §5f).
+  static Gauge* bound_ratio_gauge =
+      MetricsRegistry::Global().GetGauge("meu.max_gain_bound_ratio");
+
+  std::vector<double> gains(candidates.size(), 0.0);
+  if (candidates.empty()) return gains;
+  const double current_entropy = ctx.fusion->TotalEntropy();
+  const bool use_delta = ctx.delta != nullptr && ctx.warm_start_lookahead;
+
+  // One flattened base state serves the whole candidate scan; each lane
+  // pins into its own persistent O(frontier) workspace.
+  std::optional<DeltaFusionEngine::BaseState> base;
+  if (use_delta) base.emplace(ctx.delta->PrepareBase(*ctx.fusion));
+
+  const std::vector<std::size_t> order = ScanOrder(ctx, candidates);
+  const bool prune = allow_prune && scan_.prune && use_delta && top_k > 0 &&
+                     top_k < candidates.size();
+  GainThreshold threshold(prune ? top_k : 0);
+  std::atomic<std::uint64_t> pruned{0};
+  std::atomic<double> max_ratio{0.0};
+  if (lane_ws_.size() < num_threads_) lane_ws_.resize(num_threads_);
+
+  const ThreadPool::Body body = [&](std::size_t lane, std::size_t begin,
+                                    std::size_t end) {
+    DeltaFusionEngine::Workspace& ws = lane_ws_[lane];
+    std::vector<std::pair<double, ClaimIndex>> claims;  // (pk, k), reused.
+    for (std::size_t pos = begin; pos < end; ++pos) {
+      // Hard stop: abandon the scan. The truncated gains are never recorded
+      // — the session discards the round — so the zero-filled tail is fine.
+      if (HardStopRequested(ctx.cancel)) return;
+      const std::size_t idx = order[pos];
+      const ItemId item = candidates[idx];
+      if (!use_delta) {
+        // Cold / non-delta path: exact full-Fuse lookahead, never pruned
+        // (the worked-example contract).
+        gains[idx] =
+            current_entropy - ExpectedEntropyAfterValidation(ctx, item);
+        continue;
+      }
+
+      // Per-claim gain bound: pinning o_i removes its own entropy H_i
+      // exactly; the cross-item ripple is bounded by margin * H_i (exactly
+      // zero for Voting, where a pin moves nothing else). DESIGN.md §5f.
+      const double h_item = base->item_entropy[item];
+      const double margin =
+          ctx.delta->cross_item_influence() ? scan_.prune_margin_rel : 0.0;
+      const double claim_bound = (1.0 + margin) * h_item;
+      if (prune && claim_bound < threshold.Get()) {
+        // A-priori prune: gain <= claim_bound < threshold.
+        gains[idx] = claim_bound;
+        pruned.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
+      // Claims best-first (descending pk, ties by claim index) so the
+      // partial bound tightens as fast as possible. The order is a pure
+      // function of the fusion state — identical for every schedule.
+      claims.clear();
+      const Database& db = *ctx.db;
+      double total_mass = 0.0;
+      for (ClaimIndex k = 0; k < db.num_claims(item); ++k) {
+        const double pk = ctx.fusion->prob(item, k);
+        if (pk <= 0.0) continue;
+        claims.emplace_back(pk, k);
+        total_mass += pk;
+      }
+      std::sort(claims.begin(), claims.end(),
+                [](const std::pair<double, ClaimIndex>& a,
+                   const std::pair<double, ClaimIndex>& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      double expected = 0.0;
+      double mass = 0.0;
+      bool was_pruned = false;
+      for (const auto& [pk, k] : claims) {
+        if (pk < kNegligiblePinMass) {
+          expected += pk * (base->total_entropy - base->item_entropy[item]);
+        } else {
+          expected += pk * ctx.delta->EntropyAfterExactPin(*base, ws,
+                                                           *ctx.priors, item,
+                                                           k);
+        }
+        mass += pk;
+        if (!prune) continue;
+        // Each unevaluated claim keeps at least (current - claim_bound)
+        // entropy, so the remaining mass can add at most
+        // remaining * claim_bound of gain. The clamp keeps the bound
+        // conservative against rounding in the mass accumulation.
+        const double remaining = std::max(0.0, total_mass - mass);
+        const double ub = (current_entropy - expected) -
+                          remaining * (current_entropy - claim_bound);
+        if (ub < threshold.Get()) {
+          gains[idx] = ub;
+          pruned.fetch_add(1, std::memory_order_relaxed);
+          was_pruned = true;
+          break;
+        }
+      }
+      if (was_pruned) continue;
+      // Delta EU_i of Eq. (7): current entropy minus expected entropy.
+      const double gain = current_entropy - expected;
+      gains[idx] = gain;
+      if (prune) threshold.Offer(gain);
+      // Gauge the margin only on items with entropy above the propagation's
+      // numerical noise floor (~1e-9 nats): below it the quotient measures
+      // rounding, not cross-item influence, and a pruned near-zero-entropy
+      // item is below any plausible threshold regardless.
+      if (h_item > 1e-6) AtomicMaxDouble(max_ratio, gain / h_item);
+    }
+  };
+
+  const std::size_t n = candidates.size();
+  std::uint64_t stolen = 0;
+  if (num_threads_ <= 1 || n < scan_.serial_cutoff) {
+    // Serial cutoff: tiny rounds run inline; pool dispatch costs more than
+    // it buys (and the pool is not even constructed until first needed).
+    body(/*lane=*/0, 0, n);
+  } else {
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+    stolen = pool_->ParallelFor(n, scan_.chunk_size, body);
+  }
+  pruned_counter->Add(pruned.load(std::memory_order_relaxed));
+  if (stolen > 0) steals_counter->Add(stolen);
+  const double ratio = max_ratio.load(std::memory_order_relaxed);
+  if (ratio > bound_ratio_gauge->value()) bound_ratio_gauge->Set(ratio);
+
+  // Seed the next round's scan with this round's ranking, so the eventual
+  // winners are evaluated first and the threshold tightens immediately.
+  seed_ranking_ = TopKByScore(candidates, gains, scan_.seed_limit);
+  return gains;
+}
+
 std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
                                              std::size_t batch) {
   assert(ctx.model != nullptr && ctx.fusion_opts != nullptr &&
@@ -69,71 +293,12 @@ std::vector<ItemId> MeuStrategy::SelectBatch(const StrategyContext& ctx,
       MetricsRegistry::Global().GetCounter("strategy.meu.lookaheads");
   static Histogram* candidates_hist = MetricsRegistry::Global().GetHistogram(
       "strategy.meu.candidates", MetricsRegistry::CountEdges());
-  static Histogram* utilization_hist = MetricsRegistry::Global().GetHistogram(
-      "strategy.meu.worker_utilization",
-      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   const std::vector<ItemId> candidates = CandidateItems(ctx);
   select_calls->Add(1);
   lookaheads->Add(candidates.size());
   candidates_hist->Observe(static_cast<double>(candidates.size()));
-  const double current_entropy = ctx.fusion->TotalEntropy();
-  std::vector<double> gains(candidates.size(), 0.0);
-
-  // One flattened base state serves the whole candidate scan; each worker
-  // pins into its own O(frontier) workspace.
-  const bool use_delta = ctx.delta != nullptr && ctx.warm_start_lookahead;
-  std::optional<DeltaFusionEngine::BaseState> base;
-  if (use_delta) base.emplace(ctx.delta->PrepareBase(*ctx.fusion));
-  const auto expected_entropy = [&](ItemId item,
-                                    DeltaFusionEngine::Workspace& ws) {
-    return use_delta ? ExpectedEntropyAfterValidation(ctx, item, *base, ws)
-                     : ExpectedEntropyAfterValidation(ctx, item);
-  };
-
-  const std::size_t workers = std::min(num_threads_, candidates.size());
-  if (workers <= 1) {
-    DeltaFusionEngine::Workspace ws;
-    for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
-      // Hard stop: abandon the scan. The truncated gains are never recorded
-      // — the session discards the round — so the zero-filled tail is fine.
-      if (HardStopRequested(ctx.cancel)) break;
-      // Delta EU_i of Eq. (7): current entropy minus expected entropy.
-      gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
-    }
-  } else {
-    // Each candidate's lookahead is independent; work-steal over an atomic
-    // index so stragglers do not serialize the batch. Writes go to disjoint
-    // slots, so the result is identical to the sequential run.
-    Timer wall;
-    std::vector<double> busy_seconds(workers, 0.0);
-    std::atomic<std::size_t> next{0};
-    auto work = [&](std::size_t worker) {
-      Timer busy;
-      DeltaFusionEngine::Workspace ws;
-      while (true) {
-        const std::size_t idx = next.fetch_add(1);
-        if (idx >= candidates.size() || HardStopRequested(ctx.cancel)) break;
-        gains[idx] = current_entropy - expected_entropy(candidates[idx], ws);
-      }
-      busy_seconds[worker] = busy.ElapsedSeconds();
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t t = 0; t + 1 < workers; ++t) {
-      pool.emplace_back(work, t + 1);
-    }
-    work(0);
-    for (std::thread& t : pool) t.join();
-    // Worker utilization: each worker's busy time over the section's wall
-    // time. Work stealing should keep every observation near 1.0; a low
-    // tail means stragglers serialized the scan.
-    const double wall_seconds = wall.ElapsedSeconds();
-    if (wall_seconds > 0.0) {
-      for (double busy : busy_seconds) {
-        utilization_hist->Observe(busy / wall_seconds);
-      }
-    }
-  }
+  const std::vector<double> gains =
+      ScoreCandidateGains(ctx, candidates, batch, /*allow_prune=*/true);
   return TopKByScore(candidates, gains, batch);
 }
 

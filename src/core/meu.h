@@ -6,34 +6,83 @@
 // utility of validating o_i is the p_i^k-weighted average of those entropies;
 // the item maximizing the expected entropy reduction (Eq. 7) is selected.
 //
-// Cost: O(m * kappa) re-fusions per action — exact but expensive; re-fusions
-// are warm-started from the current accuracies to cut iterations, and when
-// ctx.delta is set each hypothetical pin is propagated incrementally over a
-// dirty frontier (fusion/delta_fusion.h) instead of re-fusing the whole
-// database. Requires ctx.model and ctx.fusion_opts.
+// Cost: O(m * kappa) re-fusions per action — exact but expensive. The scan
+// engine here attacks that from three sides (DESIGN.md §5f):
+//   * a persistent work-stealing ThreadPool with per-lane delta-fusion
+//     workspaces, reused across SelectNext rounds (no thread spawns);
+//   * branch-and-bound pruning: candidates are visited best-first (seeded by
+//     last round's ranking), a shared monotone threshold tracks the batch-th
+//     best exact gain, and a candidate is abandoned — a priori or mid-claim —
+//     once an upper bound on its gain provably falls below that threshold;
+//   * the delta engine's flat SoA frontier passes (fusion/delta_fusion.h).
+// Selections are deterministic for any thread count: the threshold is only
+// ever fed *exact* gains, so every true top-batch candidate is evaluated
+// exactly, and pruned candidates record a bound strictly below the final
+// threshold. Requires ctx.model and ctx.fusion_opts.
 #ifndef VERITAS_CORE_MEU_H_
 #define VERITAS_CORE_MEU_H_
 
+#include <memory>
+
 #include "core/strategy.h"
 #include "fusion/delta_fusion.h"
+#include "util/thread_pool.h"
 
 namespace veritas {
+
+/// Knobs of the pruned lookahead scan.
+struct MeuScanOptions {
+  /// Branch-and-bound pruning of provably non-winning candidates. Only
+  /// active on the delta-fusion path with more candidates than the batch.
+  bool prune = true;
+  /// Relative margin of the per-claim gain bound for models with cross-item
+  /// influence: a pin on o_i is assumed to reduce total entropy by at most
+  /// (1 + margin) * H(o_i). Voting uses the exact bound H(o_i); for Accu and
+  /// TruthFinder the ripple through source accuracies is a heuristic bound,
+  /// not a theorem — dense synthetic data has been observed at 1.9x H(o_i),
+  /// so the default leaves ~60% headroom. Validated empirically by the
+  /// equivalence suite and the exported meu.max_gain_bound_ratio gauge
+  /// (see DESIGN.md §5f).
+  double prune_margin_rel = 2.0;
+  /// Candidate sets smaller than this run inline on the caller thread —
+  /// pool dispatch costs more than it buys on tiny rounds.
+  std::size_t serial_cutoff = 32;
+  /// How many of last round's best candidates seed the front of the scan.
+  std::size_t seed_limit = 64;
+  /// Indices per work-stealing chunk.
+  std::size_t chunk_size = 8;
+};
 
 /// Exact one-step-lookahead VPI strategy with the entropy utility.
 class MeuStrategy : public Strategy {
  public:
-  /// `num_threads` > 1 scores candidates concurrently (the lookahead
-  /// re-fusions are independent). Results are bit-identical to the
-  /// sequential run. All built-in fusion models are thread-safe.
-  explicit MeuStrategy(std::size_t num_threads = 1)
-      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+  /// `num_threads` > 1 scores candidates concurrently on a persistent
+  /// work-stealing pool (the lookahead re-fusions are independent). Selected
+  /// items are identical for every thread count. All built-in fusion models
+  /// are thread-safe.
+  explicit MeuStrategy(std::size_t num_threads = 1, MeuScanOptions scan = {})
+      : num_threads_(num_threads == 0 ? 1 : num_threads), scan_(scan) {}
 
   std::string name() const override { return "meu"; }
 
   std::size_t num_threads() const { return num_threads_; }
+  const MeuScanOptions& scan_options() const { return scan_; }
+
+  /// Clears the cross-round seed ranking (the pool survives).
+  void Reset() override { seed_ranking_.clear(); }
 
   std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
                                   std::size_t batch) override;
+
+  /// Gains (Eq. 7 Delta-EU) parallel to `candidates`. With `allow_prune`,
+  /// entries that provably cannot reach the top `top_k` may hold an upper
+  /// bound on their gain instead of the exact value (always strictly below
+  /// the top_k-th best exact gain, so TopKByScore over the result is
+  /// unchanged); without it every entry is exact. Used by SequentialMeu for
+  /// its (necessarily unpruned) myopic preselection.
+  std::vector<double> ScoreCandidateGains(const StrategyContext& ctx,
+                                          const std::vector<ItemId>& candidates,
+                                          std::size_t top_k, bool allow_prune);
 
   /// Expected total entropy after validating `item` (the EU* of Table 6):
   ///   sum_k p_i^k * TotalEntropy(F(D | v_i^k = true)).
@@ -50,7 +99,19 @@ class MeuStrategy : public Strategy {
       const DeltaFusionEngine::BaseState& base, DeltaFusionEngine::Workspace& ws);
 
  private:
+  /// The scan order: indices into `candidates`, last round's ranking first,
+  /// then descending current item entropy (ties: lower item id). Purely a
+  /// function of (seed_ranking_, ctx) — identical for every thread count.
+  std::vector<std::size_t> ScanOrder(const StrategyContext& ctx,
+                                     const std::vector<ItemId>& candidates) const;
+
   std::size_t num_threads_;
+  MeuScanOptions scan_;
+  std::unique_ptr<ThreadPool> pool_;  // Lazy; persists across rounds.
+  /// Per-lane delta workspaces, persistent so a round only pays one lazy
+  /// base sync per lane instead of re-allocating O(database) scratch.
+  std::vector<DeltaFusionEngine::Workspace> lane_ws_;
+  std::vector<ItemId> seed_ranking_;  // Last round's best, best first.
 };
 
 }  // namespace veritas

@@ -76,30 +76,12 @@ std::vector<ItemId> SequentialMeuStrategy::SelectBatch(
   if (candidates.empty()) return {};
   const double current_entropy = ctx.fusion->TotalEntropy();
 
-  // Depth-1 preselection by myopic gain (one shared base for the scan).
-  std::vector<double> myopic_gains;
-  myopic_gains.reserve(candidates.size());
-  if (ctx.delta != nullptr && ctx.warm_start_lookahead) {
-    const DeltaFusionEngine::BaseState base =
-        ctx.delta->PrepareBase(*ctx.fusion);
-    DeltaFusionEngine::Workspace ws;
-    for (ItemId i : candidates) {
-      // Hard stop: abandon the scan, padding `myopic_gains` so it stays
-      // parallel to `candidates` (the session discards the round).
-      if (HardStopRequested(ctx.cancel)) break;
-      myopic_gains.push_back(
-          current_entropy -
-          MeuStrategy::ExpectedEntropyAfterValidation(ctx, i, base, ws));
-    }
-  } else {
-    for (ItemId i : candidates) {
-      if (HardStopRequested(ctx.cancel)) break;
-      myopic_gains.push_back(
-          current_entropy -
-          MeuStrategy::ExpectedEntropyAfterValidation(ctx, i));
-    }
-  }
-  myopic_gains.resize(candidates.size(), 0.0);
+  // Depth-1 preselection by myopic gain, on MEU's pooled scan engine.
+  // Pruning is disabled: the tail of the returned batch is ordered by these
+  // gains, so every one must be exact, not an upper bound. (Hard stops
+  // truncate the scan inside the scanner; the session discards the round.)
+  const std::vector<double> myopic_gains = myopic_.ScoreCandidateGains(
+      ctx, candidates, options_.beam_width, /*allow_prune=*/false);
   const std::vector<ItemId> beam =
       TopKByScore(candidates, myopic_gains, options_.beam_width);
 

@@ -16,6 +16,7 @@
 #ifndef VERITAS_CORE_SEQUENTIAL_MEU_H_
 #define VERITAS_CORE_SEQUENTIAL_MEU_H_
 
+#include "core/meu.h"
 #include "core/strategy.h"
 
 namespace veritas {
@@ -29,10 +30,16 @@ struct SequentialMeuOptions {
 /// Two-step-lookahead VPI strategy over the entropy utility.
 class SequentialMeuStrategy : public Strategy {
  public:
-  explicit SequentialMeuStrategy(SequentialMeuOptions options = {})
-      : options_(options) {}
+  /// `num_threads` > 1 fans the depth-1 myopic preselection over MEU's
+  /// persistent pool. Pruning stays off there: the tail of the batch is
+  /// ordered by myopic gain, which needs every gain exact.
+  explicit SequentialMeuStrategy(SequentialMeuOptions options = {},
+                                 std::size_t num_threads = 1)
+      : options_(options), myopic_(num_threads) {}
 
   std::string name() const override { return "meu2"; }
+
+  void Reset() override { myopic_.Reset(); }
 
   std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
                                   std::size_t batch) override;
@@ -46,6 +53,7 @@ class SequentialMeuStrategy : public Strategy {
 
  private:
   SequentialMeuOptions options_;
+  MeuStrategy myopic_;  ///< Pooled exact scanner for the depth-1 gains.
 };
 
 }  // namespace veritas

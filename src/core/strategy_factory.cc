@@ -29,16 +29,19 @@ Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name,
     return std::unique_ptr<Strategy>(new MeuStrategy(num_threads));
   }
   if (name == "approx_meu") {
-    return std::unique_ptr<Strategy>(new ApproxMeuStrategy());
+    return std::unique_ptr<Strategy>(new ApproxMeuStrategy(num_threads));
   }
   if (name == "meu2") {
-    return std::unique_ptr<Strategy>(new SequentialMeuStrategy());
+    return std::unique_ptr<Strategy>(
+        new SequentialMeuStrategy(SequentialMeuOptions{}, num_threads));
   }
   if (name == "gub") {
-    return std::unique_ptr<Strategy>(new GubStrategy(GubMode::kOracle));
+    return std::unique_ptr<Strategy>(
+        new GubStrategy(GubMode::kOracle, num_threads));
   }
   if (name == "gub_expectation") {
-    return std::unique_ptr<Strategy>(new GubStrategy(GubMode::kExpectation));
+    return std::unique_ptr<Strategy>(
+        new GubStrategy(GubMode::kExpectation, num_threads));
   }
   if (StartsWith(name, "approx_meu_k:")) {
     const std::string arg = name.substr(std::string("approx_meu_k:").size());
@@ -47,7 +50,7 @@ Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name,
     if (end == arg.c_str() || *end != '\0' || k <= 0.0 || k > 100.0) {
       return Status::InvalidArgument("bad approx_meu_k percentage: " + arg);
     }
-    return std::unique_ptr<Strategy>(new ApproxMeuKStrategy(k));
+    return std::unique_ptr<Strategy>(new ApproxMeuKStrategy(k, num_threads));
   }
   return Status::NotFound("unknown strategy: " + name);
 }

@@ -14,8 +14,11 @@ namespace veritas {
 /// Creates a strategy from its name: "random", "qbc", "us", "meu",
 /// "approx_meu", "approx_meu_k:<percent>", "gub", "gub_expectation".
 /// Unknown names yield NotFound. `num_threads` > 1 parallelizes the
-/// candidate scan of strategies that support it (currently "meu"); other
-/// strategies ignore it. All built-in fusion models are thread-safe.
+/// candidate scan of the lookahead strategies ("meu", "meu2", "approx_meu",
+/// "approx_meu_k:*", "gub", "gub_expectation") over a persistent
+/// work-stealing pool; the cheap ranking strategies ignore it. Selected
+/// items are identical for every thread count. All built-in fusion models
+/// are thread-safe.
 Result<std::unique_ptr<Strategy>> MakeStrategy(const std::string& name,
                                                std::size_t num_threads = 1);
 

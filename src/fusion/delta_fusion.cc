@@ -8,6 +8,7 @@
 #include "fusion/voting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancellation.h"
 #include "util/math.h"
 
 namespace veritas {
@@ -160,102 +161,155 @@ void DeltaFusionEngine::ApplyPin(Workspace& ws, ItemId item, const double* pin,
   ws.item_entropy_[item] = h;
 }
 
-void DeltaFusionEngine::RecomputeItem(Workspace& ws, ItemId item) const {
+void DeltaFusionEngine::RecomputeItems(Workspace& ws) const {
   const CompiledDatabase& c = compiled_;
-  const std::uint32_t g = c.claim_offset(item);
-  const std::size_t n = c.item_num_claims(item);
+  const std::size_t m = ws.frontier_.size();
+  if (m == 0) return;
   const std::vector<SourceId>& claim_sources = c.claim_sources();
 
-  ws.new_probs_.resize(n);
-  ws.scores_.resize(n);
-  double h = 0.0;
+  // Pass 0: lay the frontier's claims out flat (one prefix-sum of offsets),
+  // so the hot passes below run over dense contiguous buffers instead of
+  // per-item resized scratch.
+  ws.frontier_offsets_.resize(m + 1);
+  std::size_t flat = 0;
+  for (std::size_t f = 0; f < m; ++f) {
+    ws.frontier_offsets_[f] = flat;
+    flat += c.item_num_claims(ws.frontier_[f]);
+  }
+  ws.frontier_offsets_[m] = flat;
+  if (ws.frontier_scores_.size() < flat) ws.frontier_scores_.resize(flat);
+  if (ws.frontier_probs_.size() < flat) ws.frontier_probs_.resize(flat);
+  if (ws.frontier_entropy_.size() < m) ws.frontier_entropy_.resize(m);
+
+  // Pass 1: score gather — one CSR sweep over claim_sources accumulating
+  // the cached per-source terms. term_ is never written during this pass,
+  // so batching across items cannot change any item's arithmetic.
+  const double* term = ws.term_.data();
+  double* scores = ws.frontier_scores_.data();
   if (kind_ == Kind::kAccu) {
-    const double lf = c.log_false_values(item);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::uint32_t begin = c.claim_sources_begin(g + k);
-      const std::uint32_t end = c.claim_sources_end(g + k);
-      double score = static_cast<double>(end - begin) * lf;
-      for (std::uint32_t v = begin; v < end; ++v) {
-        score += ws.term_[claim_sources[v]];
-      }
-      ws.scores_[k] = score;
-    }
-    if (n == 2) {
-      // Two-claim fast path: one exp + one log1p for both the probabilities
-      // and the entropy H = log1p(e) + |d| * p_minor (softmax in sigmoid
-      // form; d is the score gap).
-      const double d = ws.scores_[0] - ws.scores_[1];
-      if (d >= 0.0) {
-        const double e = std::exp(-d);
-        const double p1 = e / (1.0 + e);
-        ws.new_probs_[1] = p1;
-        ws.new_probs_[0] = 1.0 - p1;
-        h = std::log1p(e) + d * p1;
-      } else {
-        const double e = std::exp(d);
-        const double p0 = e / (1.0 + e);
-        ws.new_probs_[0] = p0;
-        ws.new_probs_[1] = 1.0 - p0;
-        h = std::log1p(e) - d * p0;
-      }
-    } else {
-      double max_score = ws.scores_[0];
-      for (std::size_t k = 1; k < n; ++k) {
-        if (ws.scores_[k] > max_score) max_score = ws.scores_[k];
-      }
-      double sum = 0.0;
+    for (std::size_t f = 0; f < m; ++f) {
+      const ItemId item = ws.frontier_[f];
+      const std::uint32_t g = c.claim_offset(item);
+      const std::size_t n = c.item_num_claims(item);
+      const double lf = c.log_false_values(item);
+      double* out = scores + ws.frontier_offsets_[f];
       for (std::size_t k = 0; k < n; ++k) {
-        const double w = std::exp(ws.scores_[k] - max_score);
-        ws.new_probs_[k] = w;
-        sum += w;
-      }
-      // p_k = exp(s_k - lse)  =>  H = sum_k p_k * (lse - s_k), no logs per
-      // claim.
-      const double lse = max_score + std::log(sum);
-      const double inv = 1.0 / sum;
-      for (std::size_t k = 0; k < n; ++k) {
-        const double p = ws.new_probs_[k] * inv;
-        ws.new_probs_[k] = p;
-        h += p * (lse - ws.scores_[k]);
+        const std::uint32_t begin = c.claim_sources_begin(g + k);
+        const std::uint32_t end = c.claim_sources_end(g + k);
+        double score = static_cast<double>(end - begin) * lf;
+        for (std::uint32_t v = begin; v < end; ++v) {
+          score += term[claim_sources[v]];
+        }
+        out[k] = score;
       }
     }
   } else {  // kTruthFinder (voting items are never recomputed)
-    double total = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      double sigma = 0.0;
-      const std::uint32_t begin = c.claim_sources_begin(g + k);
-      const std::uint32_t end = c.claim_sources_end(g + k);
-      for (std::uint32_t v = begin; v < end; ++v) {
-        sigma += ws.term_[claim_sources[v]];
+    for (std::size_t f = 0; f < m; ++f) {
+      const ItemId item = ws.frontier_[f];
+      const std::uint32_t g = c.claim_offset(item);
+      const std::size_t n = c.item_num_claims(item);
+      double* out = scores + ws.frontier_offsets_[f];
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t begin = c.claim_sources_begin(g + k);
+        const std::uint32_t end = c.claim_sources_end(g + k);
+        double sigma = 0.0;
+        for (std::uint32_t v = begin; v < end; ++v) {
+          sigma += term[claim_sources[v]];
+        }
+        out[k] = sigma;
       }
-      const double conf = 1.0 / (1.0 + std::exp(-gamma_ * sigma));
-      ws.new_probs_[k] = conf;
-      total += conf;
-    }
-    for (std::size_t k = 0; k < n; ++k) {
-      ws.new_probs_[k] /= total;
-      h += EntropyTerm(ws.new_probs_[k]);
     }
   }
 
-  for (std::size_t k = 0; k < n; ++k) {
-    ws.scores_[k] = ws.new_probs_[k] - ws.prob_[g + k];
+  // Pass 2: probabilities + entropies from the flat scores, per item (the
+  // same arithmetic, in the same order, as the old one-item-at-a-time
+  // update).
+  double* probs = ws.frontier_probs_.data();
+  for (std::size_t f = 0; f < m; ++f) {
+    const std::size_t off = ws.frontier_offsets_[f];
+    const std::size_t n = ws.frontier_offsets_[f + 1] - off;
+    const double* s = scores + off;
+    double* p = probs + off;
+    double h = 0.0;
+    if (kind_ == Kind::kAccu) {
+      if (n == 2) {
+        // Two-claim fast path: one exp + one log1p for both the
+        // probabilities and the entropy H = log1p(e) + |d| * p_minor
+        // (softmax in sigmoid form; d is the score gap).
+        const double d = s[0] - s[1];
+        if (d >= 0.0) {
+          const double e = std::exp(-d);
+          const double p1 = e / (1.0 + e);
+          p[1] = p1;
+          p[0] = 1.0 - p1;
+          h = std::log1p(e) + d * p1;
+        } else {
+          const double e = std::exp(d);
+          const double p0 = e / (1.0 + e);
+          p[0] = p0;
+          p[1] = 1.0 - p0;
+          h = std::log1p(e) - d * p0;
+        }
+      } else {
+        double max_score = s[0];
+        for (std::size_t k = 1; k < n; ++k) {
+          if (s[k] > max_score) max_score = s[k];
+        }
+        double sum = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double w = std::exp(s[k] - max_score);
+          p[k] = w;
+          sum += w;
+        }
+        // p_k = exp(s_k - lse)  =>  H = sum_k p_k * (lse - s_k), no logs
+        // per claim.
+        const double lse = max_score + std::log(sum);
+        const double inv = 1.0 / sum;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double pk = p[k] * inv;
+          p[k] = pk;
+          h += pk * (lse - s[k]);
+        }
+      }
+    } else {  // kTruthFinder
+      double total = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double conf = 1.0 / (1.0 + std::exp(-gamma_ * s[k]));
+        p[k] = conf;
+        total += conf;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        p[k] /= total;
+        h += EntropyTerm(p[k]);
+      }
+    }
+    ws.frontier_entropy_[f] = h;
   }
+
+  // Pass 3: vote-sum delta scatter + writeback, item by item in frontier
+  // order — the accumulation order into sum_ is exactly the old loop's.
   const std::vector<SourceId>& vote_sources = c.item_vote_sources();
   const std::vector<ClaimIndex>& vote_claims = c.item_vote_claims();
-  for (std::uint32_t v = c.item_votes_begin(item); v < c.item_votes_end(item);
-       ++v) {
-    const double dp = ws.scores_[vote_claims[v]];
-    if (dp == 0.0) continue;
-    const SourceId j = vote_sources[v];
-    ws.sum_[j] += dp;
-    if (ws.source_touch_tick_[j] != ws.ticket_) {
-      ws.source_touch_tick_[j] = ws.ticket_;
-      ws.touched_sources_.push_back(j);
+  for (std::size_t f = 0; f < m; ++f) {
+    const ItemId item = ws.frontier_[f];
+    const std::uint32_t g = c.claim_offset(item);
+    const std::size_t off = ws.frontier_offsets_[f];
+    const std::size_t n = ws.frontier_offsets_[f + 1] - off;
+    const double* p = probs + off;
+    for (std::uint32_t v = c.item_votes_begin(item);
+         v < c.item_votes_end(item); ++v) {
+      const double dp = p[vote_claims[v]] - ws.prob_[g + vote_claims[v]];
+      if (dp == 0.0) continue;
+      const SourceId j = vote_sources[v];
+      ws.sum_[j] += dp;
+      if (ws.source_touch_tick_[j] != ws.ticket_) {
+        ws.source_touch_tick_[j] = ws.ticket_;
+        ws.touched_sources_.push_back(j);
+      }
     }
+    for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = p[k];
+    ws.item_entropy_[item] = ws.frontier_entropy_[f];
   }
-  for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = ws.new_probs_[k];
-  ws.item_entropy_[item] = h;
 }
 
 bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
@@ -279,6 +333,11 @@ bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
   std::size_t iter = 0;
   while (iter < fusion_opts_.max_iterations) {
     ++iter;
+
+    // Hard cancel: abandon the relaxation mid-flight. The caller's touched
+    // lists stay valid (EntropyAfterExactPin still restores them), and every
+    // caller of a non-converged lookahead is itself on an abandon path.
+    if (HardStopRequested(fusion_opts_.cancel)) break;
 
     // Accuracy pass over the active sources. Sources whose sum did not move
     // since their last update fall through at `delta == 0.0` in O(1).
@@ -333,7 +392,7 @@ bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
     // Probability pass over the active items (the converged-base analogue of
     // the full model's probability update, including its trailing pass:
     // probabilities are refreshed once more on the round that converges).
-    for (ItemId i : ws.frontier_) RecomputeItem(ws, i);
+    RecomputeItems(ws);
     if (max_delta < fusion_opts_.tolerance) {
       conv = true;
       break;

@@ -107,6 +107,14 @@ class DeltaFusionEngine {
     std::vector<ItemId> frontier_;
     std::vector<double> scores_;
     std::vector<double> new_probs_;
+    // Flat SoA buffers for the batched frontier recompute: per-claim scores
+    // and probabilities for the whole frontier live in one contiguous run
+    // (offsets per item), so the gather/softmax/scatter passes are tight
+    // loops over dense arrays instead of per-item resized scratch.
+    std::vector<std::size_t> frontier_offsets_;
+    std::vector<double> frontier_scores_;
+    std::vector<double> frontier_probs_;
+    std::vector<double> frontier_entropy_;
   };
 
   /// Flat snapshot of a converged base <P, A>, reusable across many pins of
@@ -136,6 +144,12 @@ class DeltaFusionEngine {
   const CompiledDatabase& compiled() const { return compiled_; }
   const FusionOptions& fusion_options() const { return fusion_opts_; }
   const DeltaFusionOptions& delta_options() const { return delta_opts_; }
+
+  /// True when a pin on one item can move *other* items' probabilities
+  /// (through the shared-source accuracy coupling). Voting has no such
+  /// coupling: a pin changes exactly the pinned item, so MEU's pruning bound
+  /// is exact for it instead of a margin-padded heuristic.
+  bool cross_item_influence() const { return kind_ != Kind::kVoting; }
 
   /// Flattens a converged fusion result for repeated pinning.
   BaseState PrepareBase(const FusionResult& base) const;
@@ -169,7 +183,12 @@ class DeltaFusionEngine {
   void SyncWorkspace(const BaseState& base, Workspace& ws) const;
   void ApplyPin(Workspace& ws, ItemId item, const double* pin,
                 std::size_t n) const;
-  void RecomputeItem(Workspace& ws, ItemId item) const;
+  /// Batched probability pass: recomputes every frontier item in order via
+  /// three flat passes (score gather, softmax + entropy, vote-sum scatter)
+  /// over the workspace's contiguous SoA buffers. Bit-identical to updating
+  /// the items one at a time — scores depend only on term_, which the pass
+  /// never writes, and the scatter preserves per-item order.
+  void RecomputeItems(Workspace& ws) const;
   /// Relaxes the active subgraph to convergence. With `enforce_coverage`,
   /// returns false as soon as the touched-item set exceeds the coverage
   /// threshold (caller must fall back to a full Fuse); without it the

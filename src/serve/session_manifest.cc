@@ -72,6 +72,7 @@ Status SaveSessionManifest(const SessionSpec& spec, const std::string& path) {
   out << "retries " << spec.retries << "\n";
   out << "stall_seconds " << spec.stall_seconds << "\n";
   out << "delta " << (spec.use_delta_fusion ? 1 : 0) << "\n";
+  out << "threads " << spec.threads << "\n";
   out << "recovery_attempts " << spec.recovery_attempts << "\n";
   out << "end\n";
   return AtomicWriteFile(path, out.str());
@@ -136,6 +137,8 @@ Result<SessionSpec> LoadSessionManifest(const std::string& path) {
       int flag = 0;
       if (!(num >> flag)) return bad();
       spec.use_delta_fusion = flag != 0;
+    } else if (key == "threads") {
+      if (!(num >> spec.threads)) return bad();
     } else if (key == "recovery_attempts") {
       if (!(num >> spec.recovery_attempts)) return bad();
     }

@@ -46,6 +46,10 @@ struct SessionSpec {
   /// seconds unless a hard stop arrives first (see serve/stall_oracle.h).
   double stall_seconds = 0.0;
   bool use_delta_fusion = true;
+  /// Lookahead-scan threads requested for the session's strategy. The
+  /// supervisor caps the effective value so workers x threads cannot
+  /// oversubscribe the host (SupervisorOptions::max_total_threads).
+  std::size_t threads = 1;
   /// Times the recovery sweep has re-admitted this session. Maintained by
   /// the supervisor (not callers) so a permanently failing session cannot
   /// crash-loop through recovery forever.

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -385,7 +386,21 @@ SessionReport SessionSupervisor::RunOne(const Pending& item, Running* run) {
 
   auto model = MakeFusionModel(spec.model);
   if (!model.ok()) return fail(model.status());
-  auto strategy = MakeStrategy(spec.strategy);
+  // Cap the session's lookahead threads so workers x threads stays within
+  // the host budget: each of the max_concurrent_sessions workers may run a
+  // session concurrently, so every session gets an equal share.
+  std::size_t total_threads = options_.max_total_threads;
+  if (total_threads == 0) {
+    total_threads = std::thread::hardware_concurrency();
+    if (total_threads == 0) total_threads = 1;
+  }
+  const std::size_t workers =
+      options_.max_concurrent_sessions > 0 ? options_.max_concurrent_sessions
+                                           : 1;
+  const std::size_t share = std::max<std::size_t>(1, total_threads / workers);
+  const std::size_t effective_threads =
+      std::max<std::size_t>(1, std::min(spec.threads, share));
+  auto strategy = MakeStrategy(spec.strategy, effective_threads);
   if (!strategy.ok()) return fail(strategy.status());
   auto base_oracle = MakeOracle(spec.oracle);
   if (!base_oracle.ok()) return fail(base_oracle.status());

@@ -78,6 +78,11 @@ struct SupervisorOptions {
   /// Recovery re-admissions per session before it is abandoned (manifest
   /// removed, checkpoint kept for forensics).
   std::size_t max_recovery_attempts = 3;
+  /// Ceiling on total lookahead-scan threads across the worker pool. A
+  /// session asking for SessionSpec::threads gets at most
+  /// max_total_threads / max_concurrent_sessions (floor 1), so a full fleet
+  /// cannot oversubscribe the host. 0 = hardware concurrency.
+  std::size_t max_total_threads = 0;
   /// Keep each session's full SessionTrace in its report (tests, small
   /// fleets). Off by default: a stress run would retain every fleet
   /// member's posteriors.

@@ -1,0 +1,192 @@
+// Equivalence suite for the pruned, work-stealing MEU lookahead scan
+// (DESIGN.md §5f): selections must be identical to the unpruned serial scan
+// for every fusion model and thread count, pruning must actually fire, and
+// the scan must stay correct across seeded rounds. Lives in the concurrency
+// binary so CI reruns it under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/meu.h"
+#include "core/strategy.h"
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+#include "fusion/delta_fusion.h"
+#include "fusion/truthfinder.h"
+#include "fusion/voting.h"
+#include "obs/metrics.h"
+
+namespace veritas {
+namespace {
+
+std::unique_ptr<FusionModel> MakeModel(const std::string& name) {
+  if (name == "voting") return std::make_unique<VotingFusion>();
+  if (name == "truthfinder") return std::make_unique<TruthFinderFusion>();
+  return std::make_unique<AccuFusion>();
+}
+
+// One synthetic dataset + fused state + delta engine per fusion model, with
+// a StrategyContext wired the way FeedbackSession wires it (delta path on).
+struct ScanFixture {
+  explicit ScanFixture(const std::string& model_name, std::uint64_t seed = 47) {
+    DenseConfig config;
+    config.num_items = 80;
+    config.num_sources = 12;
+    config.density = 0.5;
+    config.seed = seed;
+    data = GenerateDense(config);
+    model = MakeModel(model_name);
+    fusion = model->Fuse(data.db, priors, opts);
+    delta = DeltaFusionEngine::Create(data.db, *model, opts);
+    ctx.db = &data.db;
+    ctx.fusion = &fusion;
+    ctx.priors = &priors;
+    ctx.model = model.get();
+    ctx.fusion_opts = &opts;
+    ctx.delta = delta.get();
+  }
+
+  // Pins `item` to claim 0 and re-fuses, as one feedback round would.
+  void Validate(ItemId item) {
+    ASSERT_TRUE(priors.SetExact(data.db, item, 0).ok());
+    fusion = model->Fuse(data.db, priors, opts, &fusion);
+  }
+
+  SyntheticDataset data;
+  std::unique_ptr<FusionModel> model;
+  FusionOptions opts;
+  PriorSet priors;
+  FusionResult fusion;
+  std::unique_ptr<DeltaFusionEngine> delta;
+  StrategyContext ctx;
+};
+
+constexpr const char* kModels[] = {"accu", "voting", "truthfinder"};
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+TEST(MeuPrunedParallelTest, SelectionsMatchUnprunedSerialScan) {
+  for (const char* model_name : kModels) {
+    ScanFixture fx(model_name);
+    ASSERT_NE(fx.delta, nullptr) << model_name;
+
+    MeuScanOptions off;
+    off.prune = false;
+    MeuStrategy reference(1, off);
+    const std::vector<ItemId> want = reference.SelectBatch(fx.ctx, 5);
+    ASSERT_EQ(want.size(), 5u) << model_name;
+
+    for (const std::size_t threads : kThreadCounts) {
+      MeuStrategy pruned(threads);
+      EXPECT_EQ(pruned.SelectBatch(fx.ctx, 5), want)
+          << model_name << " with " << threads << " thread(s)";
+    }
+  }
+}
+
+TEST(MeuPrunedParallelTest, UnprunedGainsAreBitIdenticalAcrossThreadCounts) {
+  // Without pruning every candidate runs the exact same per-candidate
+  // arithmetic against the same base state, so the gains must agree to the
+  // last bit no matter which lane scored them.
+  for (const char* model_name : kModels) {
+    ScanFixture fx(model_name);
+    const std::vector<ItemId> candidates = CandidateItems(fx.ctx);
+    ASSERT_FALSE(candidates.empty()) << model_name;
+
+    MeuScanOptions off;
+    off.prune = false;
+    MeuStrategy serial(1, off);
+    const std::vector<double> want =
+        serial.ScoreCandidateGains(fx.ctx, candidates, 5, false);
+
+    for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+      MeuScanOptions scan = off;
+      scan.serial_cutoff = 1;  // Force the pool even on this small set.
+      MeuStrategy parallel(threads, scan);
+      const std::vector<double> got =
+          parallel.ScoreCandidateGains(fx.ctx, candidates, 5, false);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got[i], want[i])
+            << model_name << " candidate " << candidates[i] << " at "
+            << threads << " thread(s)";
+      }
+    }
+  }
+}
+
+TEST(MeuPrunedParallelTest, PruningFiresOnTheDeltaPath) {
+  ScanFixture fx("accu");
+  // Isolate this scan's metrics (Reset keeps cached instrument pointers, so
+  // the strategy's statics stay valid).
+  MetricsRegistry::Global().Reset();
+  MeuStrategy pruned(2);
+  ASSERT_NE(pruned.SelectNext(fx.ctx), kInvalidItem);
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  // A batch-1 scan over ~80 conflicting items must abandon most of them.
+  EXPECT_GT(after.Value("meu.candidates_pruned"), 0.0);
+  // The empirical check on the prune_margin_rel bound: no observed gain may
+  // come near the assumed (1 + margin) * H_item ceiling.
+  EXPECT_LT(after.Value("meu.max_gain_bound_ratio"),
+            1.0 + pruned.scan_options().prune_margin_rel);
+}
+
+TEST(MeuPrunedParallelTest, GainBoundMarginHoldsOnEveryModel) {
+  // Score every candidate exactly (pruning off) and check the largest
+  // observed gain / H_item quotient against the bound the pruner assumes:
+  // exactly 1 for Voting (a pin moves nothing else), 1 + prune_margin_rel
+  // for the models with cross-item influence.
+  for (const char* model_name : kModels) {
+    ScanFixture fx(model_name);
+    ASSERT_NE(fx.delta, nullptr) << model_name;
+    MetricsRegistry::Global().Reset();
+    MeuScanOptions off;
+    off.prune = false;
+    MeuStrategy exact(1, off);
+    const std::vector<ItemId> candidates = CandidateItems(fx.ctx);
+    exact.ScoreCandidateGains(fx.ctx, candidates, 5, false);
+    const double ratio =
+        MetricsRegistry::Global().Snapshot().Value("meu.max_gain_bound_ratio");
+    const double ceiling = fx.delta->cross_item_influence()
+                               ? 1.0 + off.prune_margin_rel
+                               : 1.0 + 1e-9;
+    EXPECT_LT(ratio, ceiling) << model_name;
+    EXPECT_GT(ratio, 0.0) << model_name;
+  }
+}
+
+TEST(MeuPrunedParallelTest, SeededSecondRoundStillMatches) {
+  // The cross-round seed ranking reorders the scan; selections must not
+  // change. Run three feedback rounds, comparing pruned strategies (which
+  // carry their seed state forward) against a fresh unpruned reference.
+  for (const char* model_name : kModels) {
+    ScanFixture fx(model_name);
+    MeuScanOptions off;
+    off.prune = false;
+    MeuStrategy pruned_1t(1);
+    MeuStrategy pruned_4t(4);
+    for (int round = 0; round < 3; ++round) {
+      MeuStrategy reference(1, off);
+      const std::vector<ItemId> want = reference.SelectBatch(fx.ctx, 3);
+      ASSERT_FALSE(want.empty()) << model_name << " round " << round;
+      EXPECT_EQ(pruned_1t.SelectBatch(fx.ctx, 3), want)
+          << model_name << " round " << round;
+      EXPECT_EQ(pruned_4t.SelectBatch(fx.ctx, 3), want)
+          << model_name << " round " << round;
+      fx.Validate(want.front());
+    }
+  }
+}
+
+TEST(MeuPrunedParallelTest, ResetClearsTheSeedRanking) {
+  ScanFixture fx("accu");
+  MeuStrategy pruned(2);
+  const std::vector<ItemId> first = pruned.SelectBatch(fx.ctx, 3);
+  pruned.Reset();
+  // A reset strategy must reproduce the fresh-strategy scan exactly.
+  EXPECT_EQ(pruned.SelectBatch(fx.ctx, 3), first);
+}
+
+}  // namespace
+}  // namespace veritas

@@ -50,6 +50,9 @@ per-session work
   --items N --sources N   synthetic snapshot size (default 60 x 10)
   --max-validations N     validation budget per session (default 6)
   --strategy S --model M  session configuration (default approx_meu / accu)
+  --threads N             lookahead-scan threads per session (default 1;
+                          the supervisor caps workers x threads at
+                          --max-total-threads)
   --seed N                base seed (default 42)
 
 chaos mix (fractions of the fleet, deterministic per seed)
@@ -69,6 +72,8 @@ supervision
   --watchdog-grace-ms N   grace past deadline before graceful stop (def. 25)
   --watchdog-hard-ms N    grace before escalating to hard stop (default 50)
   --max-recovery N        recovery attempts before abandoning (default 3)
+  --max-total-threads N   host-wide lookahead-thread budget shared by the
+                          workers (default 0 = hardware concurrency)
 
 modes
   --recover               run a recovery sweep before submitting
@@ -118,6 +123,7 @@ int Run(int argc, const char* const* argv) {
   const long max_validations = IntFlag(args, "max-validations", 6);
   const std::string strategy = args.GetString("strategy", "approx_meu");
   const std::string model = args.GetString("model", "accu");
+  const long threads = IntFlag(args, "threads", 1);
   const long seed = IntFlag(args, "seed", 42);
   const double flaky_fraction = DoubleFlag(args, "flaky-fraction", 0.25);
   const std::string flaky_plan =
@@ -134,6 +140,7 @@ int Run(int argc, const char* const* argv) {
   const long watchdog_grace_ms = IntFlag(args, "watchdog-grace-ms", 25);
   const long watchdog_hard_ms = IntFlag(args, "watchdog-hard-ms", 50);
   const long max_recovery = IntFlag(args, "max-recovery", 3);
+  const long max_total_threads = IntFlag(args, "max-total-threads", 0);
   const long kill_after_ms = IntFlag(args, "kill-after-ms", 0);
   const std::string json_path = args.GetString("json", "BENCH_serve.json");
 
@@ -162,6 +169,7 @@ int Run(int argc, const char* const* argv) {
   options.watchdog_grace = std::chrono::milliseconds(watchdog_grace_ms);
   options.watchdog_hard_grace = std::chrono::milliseconds(watchdog_hard_ms);
   options.max_recovery_attempts = static_cast<std::size_t>(max_recovery);
+  options.max_total_threads = static_cast<std::size_t>(max_total_threads);
 
   SessionSupervisor supervisor(dataset.db, dataset.truth, options);
   if (Status s = supervisor.Start(); !s.ok()) {
@@ -193,6 +201,7 @@ int Run(int argc, const char* const* argv) {
     spec.strategy = strategy;
     spec.model = model;
     spec.max_validations = static_cast<std::size_t>(max_validations);
+    spec.threads = static_cast<std::size_t>(threads > 0 ? threads : 1);
     spec.seed = static_cast<std::uint64_t>(seed + i);
     const double mix = coin(rng.engine());
     if (mix < hang_fraction) {
