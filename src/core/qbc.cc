@@ -5,7 +5,7 @@ namespace veritas {
 std::vector<ItemId> QbcStrategy::SelectBatch(const StrategyContext& ctx,
                                              std::size_t batch) {
   const Database& db = *ctx.db;
-  if (ranked_.empty() || ranked_db_ != &db ||
+  if (ranked_.empty() || ranked_db_ != &db || ranked_epoch_ != ctx.db_epoch ||
       ranked_includes_singletons_ != ctx.include_singletons) {
     std::vector<ItemId> candidates;
     for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -17,6 +17,7 @@ std::vector<ItemId> QbcStrategy::SelectBatch(const StrategyContext& ctx,
     for (ItemId i : candidates) scores.push_back(VoteEntropy(db, i));
     ranked_ = TopKByScore(candidates, scores, candidates.size());
     ranked_db_ = &db;
+    ranked_epoch_ = ctx.db_epoch;
     ranked_includes_singletons_ = ctx.include_singletons;
   }
   std::vector<ItemId> out;
@@ -24,6 +25,10 @@ std::vector<ItemId> QbcStrategy::SelectBatch(const StrategyContext& ctx,
     if (out.size() >= batch) break;
     if (ctx.priors->Has(i)) continue;
     if (ctx.excluded != nullptr && ctx.excluded->count(i) > 0) continue;
+    if (ctx.require_known_truth && ctx.ground_truth != nullptr &&
+        !ctx.ground_truth->Knows(i)) {
+      continue;
+    }
     out.push_back(i);
   }
   return out;

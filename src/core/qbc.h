@@ -17,6 +17,7 @@ class QbcStrategy : public Strategy {
   void Reset() override {
     ranked_.clear();
     ranked_db_ = nullptr;
+    ranked_epoch_ = 0;
   }
 
   std::vector<ItemId> SelectBatch(const StrategyContext& ctx,
@@ -24,12 +25,14 @@ class QbcStrategy : public Strategy {
 
  private:
   // Items in descending vote-entropy order, computed lazily on first call.
-  // Vote entropies never change during a session (§4.1.1: QBC "does not need
-  // to recompute entropies after a validation"). The cache is keyed on the
-  // database identity so a strategy instance reused across databases cannot
-  // replay a stale ranking.
+  // Vote entropies never change during a session over a frozen database
+  // (§4.1.1: QBC "does not need to recompute entropies after a validation").
+  // The cache is keyed on the database identity AND the ingest epoch: the
+  // identity catches a strategy instance reused across databases, the epoch
+  // catches a streaming database that grew in place under the same address.
   std::vector<ItemId> ranked_;
   const Database* ranked_db_ = nullptr;
+  std::uint64_t ranked_epoch_ = 0;
   bool ranked_includes_singletons_ = false;
 };
 

@@ -1,7 +1,10 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -132,10 +135,54 @@ Result<SessionTrace> FeedbackSession::Run() {
       reg.GetCounter("session.interrupted_runs");
   static Counter* evicted_counter =
       reg.GetCounter("session.evicted_runs");
+  // Streaming ingest instruments (see DESIGN.md §5g). The epoch gauge tracks
+  // the live view generation; accuracy drift is the L-infinity move of the
+  // shared accuracy prefix across one ingest tick (how hard each batch
+  // shakes the model); the staleness histogram is the wall time from batch
+  // receipt to the re-fused state that includes it.
+  static Counter* ingest_obs_counter = reg.GetCounter("ingest.observations");
+  static Counter* ingest_rev_counter = reg.GetCounter("ingest.revisions");
+  static Counter* ingest_dup_counter = reg.GetCounter("ingest.duplicates");
+  static Counter* ingest_batches_counter = reg.GetCounter("ingest.batches");
+  static Counter* ingest_compactions_counter =
+      reg.GetCounter("ingest.compactions");
+  static Counter* truth_applied_counter =
+      reg.GetCounter("ingest.truth_applied");
+  static Counter* truth_deferred_counter =
+      reg.GetCounter("ingest.truth_deferred");
+  static Gauge* epoch_gauge = reg.GetGauge("ingest.epoch");
+  static Gauge* drift_gauge = reg.GetGauge("ingest.accuracy_drift");
+  static Histogram* staleness_hist =
+      reg.GetHistogram("ingest.staleness_seconds");
+
+  const StreamingSessionConfig& streaming = options_.streaming;
+  if (streaming.active()) {
+    if (streaming.feed == nullptr || streaming.truth == nullptr) {
+      return Status::InvalidArgument(
+          "streaming session: feed and truth are required");
+    }
+    if (&streaming.stream->db() != &db_) {
+      return Status::InvalidArgument(
+          "streaming session: stream->db() must be the session database");
+    }
+    if (streaming.truth != &truth_) {
+      return Status::InvalidArgument(
+          "streaming session: streaming.truth must alias the session truth");
+    }
+    if (!options_.checkpoint_path.empty() || !options_.resume_path.empty()) {
+      return Status::InvalidArgument(
+          "streaming session: checkpoint/resume is not supported (a "
+          "checkpoint snapshots fusion state against a fixed database)");
+    }
+  }
 
   SessionTrace trace;
   strategy_->Reset();
-  const ItemGraph graph(db_);
+  // The conflict graph is positional over the database; streaming appends
+  // invalidate it, so it lives in an optional and is re-emplaced per tick
+  // (ItemGraph holds a const reference and is not assignable).
+  std::optional<ItemGraph> graph;
+  graph.emplace(db_);
 
   // Cooperative stop plumbing: the fusion models and strategies see the
   // same token, so a hard stop drains the inner loops promptly while a
@@ -155,7 +202,10 @@ Result<SessionTrace> FeedbackSession::Run() {
   // propagates from must be the converged warm state).
   const std::unique_ptr<DeltaFusionEngine> delta =
       options_.warm_start && options_.fusion.use_delta_fusion
-          ? DeltaFusionEngine::Create(db_, model_, options_.fusion)
+          ? (streaming.active()
+                 ? DeltaFusionEngine::Create(*streaming.stream, model_,
+                                             options_.fusion)
+                 : DeltaFusionEngine::Create(db_, model_, options_.fusion))
           : nullptr;
   // FuseWithPins requires the base to reflect every prior except the new
   // pins. A warm-start rollback (non-finite or rejected re-fusion) breaks
@@ -238,6 +288,101 @@ Result<SessionTrace> FeedbackSession::Run() {
     return status;
   };
 
+  // --- Streaming ingest tick -------------------------------------------
+  // One batch per validation round (progress guarantee: either the feed
+  // yields a batch or it is exhausted — an empty candidate pool with a live
+  // feed loops back here, never spins). Truth rows that reference items not
+  // yet streamed are deferred and retried after every later batch.
+  std::deque<StreamTruth> deferred_truths;
+  bool feed_live = streaming.active();
+  const auto ingest_tick = [&]() -> Status {
+    if (!feed_live) return Status::OK();
+    IngestBatch batch;
+    if (!streaming.feed->Next(&batch)) {
+      feed_live = false;
+      return Status::OK();
+    }
+    VERITAS_SPAN("session.ingest");
+    // Fusion staleness: wall time from batch receipt until the fused state
+    // reflecting it is in place.
+    Timer staleness_timer;
+    VERITAS_ASSIGN_OR_RETURN(const IngestStats stats,
+                             streaming.stream->AppendBatch(batch));
+    ++trace.ingest_batches;
+    ingest_batches_counter->Add(1);
+    trace.ingested_observations += stats.fresh;
+    ingest_obs_counter->Add(stats.fresh);
+    trace.ingest_revisions += stats.revisions;
+    ingest_rev_counter->Add(stats.revisions);
+    ingest_dup_counter->Add(stats.duplicates);
+
+    // Apply truth: earlier deferrals first (their items may have just
+    // arrived), then this batch's rows; failures go back on the queue.
+    for (const StreamTruth& t : batch.truths) deferred_truths.push_back(t);
+    const std::size_t pending = deferred_truths.size();
+    for (std::size_t n = 0; n < pending; ++n) {
+      StreamTruth t = std::move(deferred_truths.front());
+      deferred_truths.pop_front();
+      if (streaming.truth->SetByValue(db_, t.item, t.value).ok()) {
+        ++trace.truths_applied;
+        truth_applied_counter->Add(1);
+      } else {
+        deferred_truths.push_back(std::move(t));
+      }
+    }
+
+    // Validated items stay pinned across epochs: a pin on an item that just
+    // gained claims is zero-extended (the verdict stands; the late claim
+    // gets probability 0).
+    trace.priors.ExtendForNewClaims(db_);
+
+    if (streaming.stream->CompactIfNeeded()) {
+      ++trace.compactions;
+      ingest_compactions_counter->Add(1);
+    }
+
+    std::vector<ItemId> dirty_items;
+    std::vector<SourceId> dirty_sources;
+    streaming.stream->TakeDirty(&dirty_items, &dirty_sources);
+    if (!dirty_items.empty() || !dirty_sources.empty()) {
+      const std::vector<double> acc_before = fusion.accuracies();
+      bool incremental = false;
+      if (delta != nullptr && delta_base_valid) {
+        auto next = delta->FuseWithAppends(fusion, trace.priors, dirty_items,
+                                           dirty_sources);
+        if (next.ok() && next.value().AllFinite()) {
+          fusion = std::move(next).value();
+          incremental = true;
+        }
+      }
+      if (!incremental) {
+        // Cold full re-fusion: the shapes changed under the last result, so
+        // a warm seed would be stale-shaped.
+        FusionResult next = model_.Fuse(db_, trace.priors, options_.fusion);
+        if (!next.AllFinite()) {
+          return Status::Internal(
+              "streaming re-fusion produced non-finite values");
+        }
+        fusion = std::move(next);
+      }
+      delta_base_valid = true;
+      // Accuracy drift: the L-infinity move of the shared accuracy prefix —
+      // how hard this batch shook the source model.
+      double drift = 0.0;
+      const std::vector<double>& acc_after = fusion.accuracies();
+      const std::size_t shared = std::min(acc_before.size(), acc_after.size());
+      for (std::size_t j = 0; j < shared; ++j) {
+        drift = std::max(drift, std::fabs(acc_after[j] - acc_before[j]));
+      }
+      drift_gauge->Set(drift);
+      graph.emplace(db_);
+    }
+    trace.final_epoch = streaming.stream->epoch();
+    epoch_gauge->Set(static_cast<double>(trace.final_epoch));
+    staleness_hist->Observe(staleness_timer.ElapsedSeconds());
+    return Status::OK();
+  };
+
   // Builds the DeadlineExceeded status every stop path returns. Mentions the
   // resume point so an operator (or the CLI) can relay it.
   const auto interrupted = [&]() -> Status {
@@ -287,6 +432,10 @@ Result<SessionTrace> FeedbackSession::Run() {
       }
     }
 
+    // Streaming: ingest one batch before selecting, so the strategy ranks
+    // candidates against the freshest fused view.
+    VERITAS_RETURN_IF_ERROR(ingest_tick());
+
     StrategyContext ctx;
     ctx.db = &db_;
     ctx.fusion = &fusion;
@@ -294,12 +443,14 @@ Result<SessionTrace> FeedbackSession::Run() {
     ctx.model = &model_;
     ctx.fusion_opts = &options_.fusion;
     ctx.ground_truth = &truth_;
-    ctx.graph = &graph;
+    ctx.graph = &*graph;
     ctx.rng = rng_;
     ctx.excluded = &skipped_set;
     ctx.include_singletons = options_.include_singletons;
     ctx.warm_start_lookahead = options_.warm_start;
     ctx.delta = delta_base_valid ? delta.get() : nullptr;
+    ctx.require_known_truth = streaming.require_known_truth;
+    ctx.db_epoch = streaming.active() ? streaming.stream->epoch() : 0;
     ctx.cancel = options_.cancel;
 
     const std::size_t want = std::min(
@@ -322,7 +473,14 @@ Result<SessionTrace> FeedbackSession::Run() {
     // empty batch, which must not be mistaken for pool exhaustion. The
     // in-flight round is discarded; the last on-disk checkpoint stands.
     if (hard_stop()) return interrupted();
-    if (batch.empty()) break;  // Candidate pool exhausted.
+    if (batch.empty()) {
+      // No candidates right now. With a live feed the pool can refill (the
+      // next tick appends observations and truth rows), so loop back to
+      // ingest — progress is guaranteed because every iteration advances the
+      // feed. Only a drained feed means true exhaustion.
+      if (feed_live) continue;
+      break;
+    }
 
     SessionStep step;
     step.select_seconds = select_seconds;
@@ -416,6 +574,10 @@ Result<SessionTrace> FeedbackSession::Run() {
   }
 
   VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/true));
+  if (streaming.active()) {
+    trace.truths_deferred = deferred_truths.size();
+    truth_deferred_counter->Add(trace.truths_deferred);
+  }
   trace.final_fusion = std::move(fusion);
   return trace;
 }

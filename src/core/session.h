@@ -6,6 +6,7 @@
 #define VERITAS_CORE_SESSION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -14,11 +15,36 @@
 #include "core/strategy.h"
 #include "fusion/fusion_model.h"
 #include "model/ground_truth.h"
+#include "model/streaming_database.h"
 #include "util/cancellation.h"
 #include "util/resource_budget.h"
 #include "util/result.h"
 
 namespace veritas {
+
+/// Streaming ingestion hookup (see SessionOptions::streaming). When active,
+/// the session pulls one batch from `feed` per validation round — ingest and
+/// validation interleave, and already-validated items stay pinned across
+/// epochs (a pin survives appends; new claims on a pinned item get
+/// probability 0). None of the pointers are owned.
+struct StreamingSessionConfig {
+  /// The live database the session runs against. Must be the same object
+  /// whose db() was passed to the FeedbackSession constructor.
+  StreamingDatabase* stream = nullptr;
+  /// Source of ingest batches; exhausted feeds simply stop ticking.
+  ObservationFeed* feed = nullptr;
+  /// Mutable view of the ground truth the session reads, so streamed truth
+  /// rows can land. Must alias the constructor's `truth` reference. Truth
+  /// rows naming items that have not arrived yet are deferred and retried
+  /// after every later batch.
+  GroundTruth* truth = nullptr;
+  /// Restrict validation candidates to items with known truth. Set this when
+  /// the oracle hard-fails on unknown truth (GroundTruthOracle): a streamed
+  /// item then waits for its truth row instead of aborting the session.
+  bool require_known_truth = false;
+
+  bool active() const { return stream != nullptr; }
+};
 
 /// Session knobs.
 struct SessionOptions {
@@ -66,6 +92,10 @@ struct SessionOptions {
   /// Wall-clock budget for the whole run. Expiry acts like a graceful stop:
   /// finish the round, checkpoint, return Status::DeadlineExceeded.
   Deadline deadline;
+  /// Streaming ingestion (inactive unless `streaming.stream` is set).
+  /// Incompatible with checkpoint/resume: a checkpoint snapshots fusion
+  /// state against a fixed database, which a stream invalidates.
+  StreamingSessionConfig streaming;
   /// Resource budget (approximate resident bytes + per-run round quota;
   /// zero fields = unlimited). Checked at round boundaries after at least
   /// one round has completed this run — so every admission makes progress
@@ -105,6 +135,14 @@ struct SessionTrace {
   /// Re-fusions discarded in favor of the last-good result (non-finite
   /// output, or non-convergence with rollback_on_nonconvergence set).
   std::size_t fusion_fallback_rounds = 0;
+  /// Streaming ingest accounting (all zero for non-streaming sessions).
+  std::size_t ingest_batches = 0;
+  std::size_t ingested_observations = 0;  ///< Fresh votes appended.
+  std::size_t ingest_revisions = 0;       ///< Last-write-wins rewrites.
+  std::size_t truths_applied = 0;         ///< Streamed truth rows landed.
+  std::size_t truths_deferred = 0;        ///< Rows still waiting at the end.
+  std::size_t compactions = 0;            ///< Tail-fold rebuilds of the view.
+  std::uint64_t final_epoch = 0;          ///< View epoch after the last tick.
 
   /// Relative change of distance after `steps[idx]` vs the initial value, in
   /// percent (negative = improvement); mirrors the paper's Figure 3 y-axis.

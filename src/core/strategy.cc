@@ -20,6 +20,10 @@ std::vector<ItemId> CandidateItems(const StrategyContext& ctx) {
     if (ctx.priors->Has(i)) continue;
     if (ctx.excluded != nullptr && ctx.excluded->count(i) > 0) continue;
     if (!ctx.include_singletons && !db.HasConflict(i)) continue;
+    if (ctx.require_known_truth && ctx.ground_truth != nullptr &&
+        !ctx.ground_truth->Knows(i)) {
+      continue;
+    }
     out.push_back(i);
   }
   return out;

@@ -49,6 +49,18 @@ struct StrategyContext {
   /// hypothetical pin over a dirty frontier instead of re-fusing the whole
   /// database. The session owns the engine and keeps it in sync with `db`.
   const DeltaFusionEngine* delta = nullptr;
+  /// When true, only items with known ground truth are candidates. Streaming
+  /// sessions with a strict (RequireTruth) oracle set this: an item whose
+  /// truth row has not arrived yet simply waits — it re-enters the action
+  /// space the moment its truth lands, instead of aborting the session or
+  /// being skipped forever.
+  bool require_known_truth = false;
+  /// Epoch of the database the context was built against. Streaming sessions
+  /// bump it on every structural ingest tick; a frozen database stays at 0.
+  /// Strategies that cache positional state across calls (e.g. QBC's
+  /// ranking) must fold it into their cache key — the Database object's
+  /// *address* stays stable while its contents grow.
+  std::uint64_t db_epoch = 0;
   /// Optional hard-stop token (not owned; may be null). Lookahead-heavy
   /// strategies poll it between candidates and bail out of the scan when a
   /// hard stop is requested; the truncated batch is discarded by the session,

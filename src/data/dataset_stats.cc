@@ -24,6 +24,15 @@ DatasetStats ComputeStats(const Database& db) {
   return s;
 }
 
+DatasetStats ComputeStats(const Database& db, const TruthLoadReport& report) {
+  DatasetStats s = ComputeStats(db);
+  s.has_truth = true;
+  s.truth_applied = report.applied;
+  s.truth_unknown_item = report.unknown_item;
+  s.truth_unknown_claim = report.unknown_claim;
+  return s;
+}
+
 std::vector<double> SourceCoverages(const Database& db) {
   std::vector<double> out(db.num_sources(), 0.0);
   if (db.num_items() == 0) return out;

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "data/loader.h"
 #include "model/database.h"
 
 namespace veritas {
@@ -20,10 +21,22 @@ struct DatasetStats {
   double density = 0.0;               ///< |Psi| / (|O| * |S|).
   double avg_claims_per_item = 0.0;   ///< kappa.
   double avg_votes_per_item = 0.0;
+  /// Ground-truth reconciliation (only populated by the ComputeStats
+  /// overload taking a TruthLoadReport). Mismatches are normal for silver
+  /// standards but load-bearing for streams: a truth row naming an absent
+  /// item usually means the truth arrived before the item's observations,
+  /// and must be visible here rather than silently dropped.
+  bool has_truth = false;
+  std::size_t truth_applied = 0;
+  std::size_t truth_unknown_item = 0;   ///< Rows naming absent items.
+  std::size_t truth_unknown_claim = 0;  ///< Rows naming unclaimed values.
 };
 
 /// Computes Table 10-style statistics.
 DatasetStats ComputeStats(const Database& db);
+
+/// Same, folding in the reconciliation counts of a ground-truth load.
+DatasetStats ComputeStats(const Database& db, const TruthLoadReport& report);
 
 /// Per-source coverage: fraction of all items each source votes on
 /// (the x-axis material of Figure 8).

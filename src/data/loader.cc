@@ -1,6 +1,7 @@
 #include "data/loader.h"
 
 #include "model/database_builder.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 
 namespace veritas {
@@ -38,6 +39,15 @@ Result<Database> LoadObservations(const std::string& path) {
 
 Result<TruthLoadReport> LoadGroundTruth(const std::string& path,
                                         const Database& db) {
+  // Counted warnings: truth rows that do not reconcile against the database
+  // are normal for silver standards, but in a streaming setting an
+  // unknown-item row usually means the truth arrived before the item's
+  // observations — expose the counts so that case is diagnosable instead of
+  // silently dropped.
+  static Counter* unknown_item_counter =
+      MetricsRegistry::Global().GetCounter("data.truth_unknown_item");
+  static Counter* unknown_claim_counter =
+      MetricsRegistry::Global().GetCounter("data.truth_unknown_claim");
   VERITAS_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ReadCsvFile(path));
   TruthLoadReport report;
   report.truth = GroundTruth(db);
@@ -53,11 +63,13 @@ Result<TruthLoadReport> LoadGroundTruth(const std::string& path,
     const auto item = db.FindItem(row[0]);
     if (!item.ok()) {
       ++report.unknown_item;
+      unknown_item_counter->Add(1);
       continue;
     }
     const auto claim = db.FindClaim(item.value(), row[1]);
     if (!claim.ok()) {
       ++report.unknown_claim;
+      unknown_claim_counter->Add(1);
       continue;
     }
     VERITAS_RETURN_IF_ERROR(report.truth.Set(db, item.value(), claim.value()));

@@ -70,9 +70,12 @@ CopyPlan MakeCopyPlan(std::size_t num_sources, double copier_fraction,
 
 // Emits one vote for (source, item): copiers replay the parent's value when
 // available, everyone else draws independently. Parents record their votes.
+// When `log` is non-null every accepted observation is recorded in emission
+// order (timestamps are stamped later, see StampStream).
 void EmitVote(DatabaseBuilder* builder, CopyPlan* plan, std::size_t source,
               std::size_t item, double accuracy,
-              std::size_t max_false_claims, Rng* rng) {
+              std::size_t max_false_claims, Rng* rng,
+              std::vector<StreamObservation>* log) {
   std::string value;
   bool copied = false;
   if (plan->IsCopier(source)) {
@@ -92,16 +95,23 @@ void EmitVote(DatabaseBuilder* builder, CopyPlan* plan, std::size_t source,
   if (recorder != plan->parent_votes.end()) {
     recorder->second.emplace(item, value);
   }
-  const Status st =
-      builder->AddObservation(SourceName(source), ItemName(item), value);
+  std::string source_name = SourceName(source);
+  std::string item_name = ItemName(item);
+  const Status st = builder->AddObservation(source_name, item_name, value);
   assert(st.ok());
   (void)st;
+  if (log != nullptr) {
+    log->push_back(StreamObservation{std::move(source_name),
+                                     std::move(item_name), std::move(value),
+                                     0.0});
+  }
 }
 
 // Ensures every item exists in the builder with at least one vote, and
 // (optionally) that the true value appears among the claims.
 void PatchCoverage(DatabaseBuilder* builder, std::size_t num_items,
-                   std::size_t num_sources, bool ensure_true_claim, Rng* rng) {
+                   std::size_t num_sources, bool ensure_true_claim, Rng* rng,
+                   std::vector<StreamObservation>* log) {
   const Database snapshot = builder->Build();
   for (std::size_t i = 0; i < num_items; ++i) {
     const auto found = snapshot.FindItem(ItemName(i));
@@ -114,12 +124,27 @@ void PatchCoverage(DatabaseBuilder* builder, std::size_t num_items,
       if (!needs_true) continue;
     }
     // Give the item a truthful vote from a random source (retry a few times
-    // in case that source already voted falsely on the item).
+    // in case that source already voted falsely on the item — the builder's
+    // last-write-wins semantics would silently overwrite that vote and
+    // change the generated dataset, so probe first).
     for (int attempt = 0; attempt < 16; ++attempt) {
       const std::size_t j = rng->UniformIndex(num_sources);
-      const Status st = builder->AddObservation(
-          SourceName(j), ItemName(i), SyntheticTrueValue(i));
-      if (st.ok()) break;
+      if (builder->WouldRevise(SourceName(j), ItemName(i),
+                               SyntheticTrueValue(i))) {
+        continue;
+      }
+      std::string source_name = SourceName(j);
+      std::string item_name = ItemName(i);
+      std::string value = SyntheticTrueValue(i);
+      const Status st = builder->AddObservation(source_name, item_name, value);
+      assert(st.ok());
+      (void)st;
+      if (log != nullptr) {
+        log->push_back(StreamObservation{std::move(source_name),
+                                         std::move(item_name),
+                                         std::move(value), 0.0});
+      }
+      break;
     }
   }
 }
@@ -140,6 +165,65 @@ GroundTruth BuildTruth(const Database& db) {
     }
   }
   return truth;
+}
+
+// Item index k from a generated item name "item<k>".
+std::size_t ItemIndexOf(const std::string& name) {
+  return std::stoul(name.substr(4));
+}
+
+// Appends late corrective re-observations to the log *and* the builder:
+// randomly chosen earlier observations are repeated with the item's true
+// value — a last-write-wins revision when the original vote was false, an
+// idempotent duplicate otherwise. Draws come from the stream RNG so the
+// fraction-0 path leaves the generated database untouched.
+void ApplyRevisions(DatabaseBuilder* builder,
+                    std::vector<StreamObservation>* log,
+                    double revision_fraction, Rng* stream_rng) {
+  if (revision_fraction <= 0.0 || log->empty()) return;
+  const std::size_t original = log->size();
+  const std::size_t count = static_cast<std::size_t>(
+      std::floor(revision_fraction * static_cast<double>(original)));
+  for (std::size_t r = 0; r < count; ++r) {
+    const StreamObservation& past = (*log)[stream_rng->UniformIndex(original)];
+    StreamObservation corrected{past.source, past.item,
+                                SyntheticTrueValue(ItemIndexOf(past.item)),
+                                0.0};
+    const Status st = builder->AddObservation(corrected.source, corrected.item,
+                                              corrected.value);
+    assert(st.ok());
+    (void)st;
+    log->push_back(std::move(corrected));
+  }
+}
+
+// Stamps strictly increasing timestamps t_k = (k + 0.5 u_k) / N onto the log
+// (u_k uniform in [0,1)), so sorting by timestamp reproduces emission order
+// exactly — replaying the stream builds a database with identical ids. The
+// jitter comes from a *separate* RNG so stamping never perturbs the
+// generator's own draw sequence.
+void StampStream(std::vector<StreamObservation>* log, Rng* stream_rng) {
+  const double n = static_cast<double>(log->size());
+  for (std::size_t k = 0; k < log->size(); ++k) {
+    (*log)[k].timestamp =
+        (static_cast<double>(k) + 0.5 * stream_rng->Uniform()) / n;
+  }
+}
+
+// Truth disclosures for every item whose true claim exists, each at an
+// independent uniform timestamp — deliberately uncorrelated with the item's
+// first observation so some truths precede their items in the stream.
+std::vector<StreamTruth> BuildTruthStream(const Database& db,
+                                          const GroundTruth& truth,
+                                          Rng* stream_rng) {
+  std::vector<StreamTruth> out;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (!truth.Knows(i)) continue;
+    out.push_back(StreamTruth{db.item(i).name,
+                              SyntheticTrueValue(ItemIndexOf(db.item(i).name)),
+                              stream_rng->Uniform()});
+  }
+  return out;
 }
 
 // A copier's effective accuracy is (mostly) its parent's: report that in
@@ -176,22 +260,36 @@ SyntheticDataset GenerateDense(const DenseConfig& config) {
   CopyPlan plan = MakeCopyPlan(config.num_sources, config.copier_fraction,
                                &rng);
 
+  // The stream RNG is independent of the generator RNG: stamping (and the
+  // default revision_fraction = 0) must not shift any generator draw, or
+  // every previously generated dataset would change under the same seed.
+  Rng stream_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const bool want_log = config.emit_stream || config.revision_fraction > 0.0;
+  std::vector<StreamObservation> log;
+  std::vector<StreamObservation>* log_ptr = want_log ? &log : nullptr;
+
   DatabaseBuilder builder;
   for (std::size_t j = 0; j < config.num_sources; ++j) {
     for (std::size_t i = 0; i < config.num_items; ++i) {
       if (!rng.Bernoulli(config.density)) continue;
       EmitVote(&builder, &plan, j, i, accuracies[j],
-               config.max_false_claims, &rng);
+               config.max_false_claims, &rng, log_ptr);
     }
   }
   PatchCoverage(&builder, config.num_items, config.num_sources,
-                config.ensure_true_claim, &rng);
+                config.ensure_true_claim, &rng, log_ptr);
+  ApplyRevisions(&builder, &log, config.revision_fraction, &stream_rng);
   InheritCopierAccuracies(plan, &accuracies);
 
   SyntheticDataset out;
   out.db = builder.Build();
   out.truth = BuildTruth(out.db);
   out.true_accuracies = std::move(accuracies);
+  if (config.emit_stream) {
+    StampStream(&log, &stream_rng);
+    out.stream = std::move(log);
+    out.truth_stream = BuildTruthStream(out.db, out.truth, &stream_rng);
+  }
   return out;
 }
 
@@ -215,6 +313,11 @@ SyntheticDataset GenerateLongTail(const LongTailConfig& config) {
       1, static_cast<std::size_t>(config.max_coverage_fraction *
                                   static_cast<double>(config.num_items)));
 
+  Rng stream_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const bool want_log = config.emit_stream || config.revision_fraction > 0.0;
+  std::vector<StreamObservation> log;
+  std::vector<StreamObservation>* log_ptr = want_log ? &log : nullptr;
+
   DatabaseBuilder builder;
   std::vector<std::size_t> pool(config.num_items);
   std::iota(pool.begin(), pool.end(), 0);
@@ -237,7 +340,7 @@ SyntheticDataset GenerateLongTail(const LongTailConfig& config) {
       cov = std::min(cov, catalog.size());
       for (std::size_t t = 0; t < cov; ++t) {
         EmitVote(&builder, &plan, j, catalog[t], accuracies[j],
-                 config.max_false_claims, &rng);
+                 config.max_false_claims, &rng, log_ptr);
       }
       continue;
     }
@@ -246,17 +349,23 @@ SyntheticDataset GenerateLongTail(const LongTailConfig& config) {
       const std::size_t swap_with = t + rng.UniformIndex(pool.size() - t);
       std::swap(pool[t], pool[swap_with]);
       EmitVote(&builder, &plan, j, pool[t], accuracies[j],
-               config.max_false_claims, &rng);
+               config.max_false_claims, &rng, log_ptr);
     }
   }
   PatchCoverage(&builder, config.num_items, config.num_sources,
-                config.ensure_true_claim, &rng);
+                config.ensure_true_claim, &rng, log_ptr);
+  ApplyRevisions(&builder, &log, config.revision_fraction, &stream_rng);
   InheritCopierAccuracies(plan, &accuracies);
 
   SyntheticDataset out;
   out.db = builder.Build();
   out.truth = BuildTruth(out.db);
   out.true_accuracies = std::move(accuracies);
+  if (config.emit_stream) {
+    StampStream(&log, &stream_rng);
+    out.stream = std::move(log);
+    out.truth_stream = BuildTruthStream(out.db, out.truth, &stream_rng);
+  }
   return out;
 }
 

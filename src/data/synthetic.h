@@ -24,6 +24,7 @@
 
 #include "model/database.h"
 #include "model/ground_truth.h"
+#include "model/streaming_database.h"
 
 namespace veritas {
 
@@ -33,6 +34,18 @@ struct SyntheticDataset {
   Database db;
   GroundTruth truth;
   std::vector<double> true_accuracies;
+  /// Timestamped observation stream (only when `emit_stream` is set in the
+  /// config): every observation the generator emitted, in emission order,
+  /// with strictly increasing timestamps in [0, 1). Replaying it in
+  /// timestamp order through a DatabaseBuilder / StreamingDatabase
+  /// reproduces `db` with identical item/source/claim ids, because the
+  /// stamping is order-preserving and builder ids follow first appearance.
+  std::vector<StreamObservation> stream;
+  /// Ground-truth disclosures with their own (uniform, unordered relative to
+  /// the observations) timestamps — some truths arrive before their item's
+  /// first observation, which is exactly the deferral case streaming
+  /// consumers must handle.
+  std::vector<StreamTruth> truth_stream;
 };
 
 /// Parameters of the dense generator (§B.2: few sources voting on most
@@ -60,6 +73,16 @@ struct DenseConfig {
   /// truth-free items in mirrors real silver standards.
   bool ensure_true_claim = false;
   std::uint64_t seed = 42;
+  /// Record the timestamped observation/truth streams in the output (see
+  /// SyntheticDataset::stream). Off by default; turning it on does not
+  /// change the generated database — timestamps come from a separate RNG.
+  bool emit_stream = false;
+  /// Fraction of observations re-emitted at the tail of the stream as late
+  /// corrective re-observations: the source repeats its vote with the item's
+  /// *true* value (a revision when it voted falsely, a duplicate otherwise).
+  /// Applied to the database too (last write wins), so > 0 changes the
+  /// generated data. 0 disables.
+  double revision_fraction = 0.0;
 };
 
 /// Generates a dense dataset (the paper's §B.2 generator).
@@ -85,6 +108,9 @@ struct LongTailConfig {
   double copier_fraction = 0.0;
   bool ensure_true_claim = false;
   std::uint64_t seed = 42;
+  /// See DenseConfig::emit_stream / revision_fraction.
+  bool emit_stream = false;
+  double revision_fraction = 0.0;
 };
 
 /// Generates a long-tail dataset.

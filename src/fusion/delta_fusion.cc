@@ -1,11 +1,13 @@
 #include "fusion/delta_fusion.h"
 
 #include <atomic>
+#include <cassert>
 #include <cmath>
 
 #include "fusion/accu.h"
 #include "fusion/truthfinder.h"
 #include "fusion/voting.h"
+#include "model/streaming_database.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/cancellation.h"
@@ -18,6 +20,12 @@ namespace {
 // Generation stamps for BaseState so a workspace can tell two bases apart
 // even when one is rebuilt at the same address.
 std::atomic<std::uint64_t> g_base_state_counter{0};
+
+Counter* StaleViewCounter() {
+  static Counter* stale =
+      MetricsRegistry::Global().GetCounter("delta.stale_view_violations");
+  return stale;
+}
 
 }  // namespace
 
@@ -44,20 +52,49 @@ std::unique_ptr<DeltaFusionEngine> DeltaFusionEngine::Create(
     return nullptr;
   }
   return std::unique_ptr<DeltaFusionEngine>(new DeltaFusionEngine(
-      db, model, kind, gamma, fusion_opts, delta_opts));
+      db, model, kind, gamma, fusion_opts, delta_opts,
+      /*external_view=*/nullptr));
+}
+
+std::unique_ptr<DeltaFusionEngine> DeltaFusionEngine::Create(
+    const StreamingDatabase& stream, const FusionModel& model,
+    FusionOptions fusion_opts, DeltaFusionOptions delta_opts) {
+  Kind kind;
+  double gamma = 0.0;
+  if (dynamic_cast<const AccuFusion*>(&model) != nullptr) {
+    kind = Kind::kAccu;
+  } else if (dynamic_cast<const VotingFusion*>(&model) != nullptr) {
+    kind = Kind::kVoting;
+  } else if (const auto* tf =
+                 dynamic_cast<const TruthFinderFusion*>(&model)) {
+    kind = Kind::kTruthFinder;
+    gamma = tf->gamma();
+  } else {
+    return nullptr;
+  }
+  return std::unique_ptr<DeltaFusionEngine>(new DeltaFusionEngine(
+      stream.db(), model, kind, gamma, fusion_opts, delta_opts,
+      &stream.compiled()));
 }
 
 DeltaFusionEngine::DeltaFusionEngine(const Database& db,
                                      const FusionModel& model, Kind kind,
                                      double gamma, FusionOptions fusion_opts,
-                                     DeltaFusionOptions delta_opts)
+                                     DeltaFusionOptions delta_opts,
+                                     const CompiledDatabase* external_view)
     : db_(db),
       model_(model),
       kind_(kind),
       gamma_(gamma),
       fusion_opts_(fusion_opts),
-      delta_opts_(delta_opts),
-      compiled_(db) {}
+      delta_opts_(delta_opts) {
+  if (external_view != nullptr) {
+    compiled_ = external_view;
+  } else {
+    owned_compiled_ = std::make_unique<CompiledDatabase>(db);
+    compiled_ = owned_compiled_.get();
+  }
+}
 
 double DeltaFusionEngine::ScoreTerm(double accuracy) const {
   const double a = ClampAccuracy(accuracy);
@@ -74,19 +111,28 @@ double DeltaFusionEngine::ScoreTerm(double accuracy) const {
 
 DeltaFusionEngine::BaseState DeltaFusionEngine::PrepareBase(
     const FusionResult& base) const {
-  const CompiledDatabase& c = compiled_;
+  const CompiledDatabase& c = *compiled_;
   BaseState s;
   s.origin = &base;
   s.id = ++g_base_state_counter;
+  s.epoch = c.epoch();
   s.probs.resize(c.num_claims());
   s.item_entropy.resize(c.num_items());
   for (ItemId i = 0; i < c.num_items(); ++i) {
     const std::vector<double>& p = base.item_probs(i);
-    const std::uint32_t g = c.claim_offset(i);
+    assert(p.size() == c.item_num_claims(i));
     double h = 0.0;
-    for (std::size_t k = 0; k < p.size(); ++k) {
-      s.probs[g + k] = p[k];
-      h += EntropyTerm(p[k]);
+    if (c.item_claims_flat(i)) {
+      const std::uint32_t g = c.claim_offset(i);
+      for (std::size_t k = 0; k < p.size(); ++k) {
+        s.probs[g + k] = p[k];
+        h += EntropyTerm(p[k]);
+      }
+    } else {
+      for (std::size_t k = 0; k < p.size(); ++k) {
+        s.probs[c.global_claim_id(i, k)] = p[k];
+        h += EntropyTerm(p[k]);
+      }
     }
     s.item_entropy[i] = h;
     s.total_entropy += h;
@@ -95,14 +141,11 @@ DeltaFusionEngine::BaseState DeltaFusionEngine::PrepareBase(
   for (double& a : s.accuracies) a = ClampAccuracy(a);
   s.terms.resize(c.num_sources());
   s.source_sums.assign(c.num_sources(), 0.0);
-  const std::vector<std::uint32_t>& source_claims = c.source_vote_claims();
   for (SourceId j = 0; j < c.num_sources(); ++j) {
     s.terms[j] = ScoreTerm(s.accuracies[j]);
     double sum = 0.0;
-    for (std::uint32_t v = c.source_votes_begin(j); v < c.source_votes_end(j);
-         ++v) {
-      sum += s.probs[source_claims[v]];
-    }
+    c.ForEachSourceVote(
+        j, [&](ItemId, std::uint32_t g) { sum += s.probs[g]; });
     s.source_sums[j] = sum;
   }
   return s;
@@ -110,7 +153,7 @@ DeltaFusionEngine::BaseState DeltaFusionEngine::PrepareBase(
 
 void DeltaFusionEngine::SyncWorkspace(const BaseState& base,
                                       Workspace& ws) const {
-  const CompiledDatabase& c = compiled_;
+  const CompiledDatabase& c = *compiled_;
   ws.claims_ = c.num_claims();
   ws.sources_ = c.num_sources();
   ws.items_ = c.num_items();
@@ -129,8 +172,7 @@ void DeltaFusionEngine::SyncWorkspace(const BaseState& base,
 
 void DeltaFusionEngine::ApplyPin(Workspace& ws, ItemId item, const double* pin,
                                  std::size_t n) const {
-  const CompiledDatabase& c = compiled_;
-  const std::uint32_t g = c.claim_offset(item);
+  const CompiledDatabase& c = *compiled_;
   // Touch the item (pinned items join touched_items_ but never frontier_:
   // they are fixed and must not be recomputed).
   if (ws.item_touch_tick_[item] != ws.ticket_) {
@@ -140,31 +182,43 @@ void DeltaFusionEngine::ApplyPin(Workspace& ws, ItemId item, const double* pin,
   // Claim deltas, then vote-sum updates, then the new probabilities.
   ws.scores_.resize(n);
   double h = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    ws.scores_[k] = pin[k] - ws.prob_[g + k];
-    h += EntropyTerm(pin[k]);
+  if (c.item_claims_flat(item)) {
+    const std::uint32_t g = c.claim_offset(item);
+    for (std::size_t k = 0; k < n; ++k) {
+      ws.scores_[k] = pin[k] - ws.prob_[g + k];
+      h += EntropyTerm(pin[k]);
+    }
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      ws.scores_[k] = pin[k] - ws.prob_[c.global_claim_id(item, k)];
+      h += EntropyTerm(pin[k]);
+    }
   }
-  const std::vector<SourceId>& vote_sources = c.item_vote_sources();
-  const std::vector<ClaimIndex>& vote_claims = c.item_vote_claims();
-  for (std::uint32_t v = c.item_votes_begin(item); v < c.item_votes_end(item);
-       ++v) {
-    const double dp = ws.scores_[vote_claims[v]];
-    if (dp == 0.0) continue;
-    const SourceId j = vote_sources[v];
+  c.ForEachItemVote(item, [&](SourceId j, ClaimIndex k) {
+    const double dp = ws.scores_[k];
+    if (dp == 0.0) return;
     ws.sum_[j] += dp;
     if (ws.source_touch_tick_[j] != ws.ticket_) {
       ws.source_touch_tick_[j] = ws.ticket_;
       ws.touched_sources_.push_back(j);
     }
+  });
+  if (c.item_claims_flat(item)) {
+    const std::uint32_t g = c.claim_offset(item);
+    for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = pin[k];
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      ws.prob_[c.global_claim_id(item, k)] = pin[k];
+    }
   }
-  for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = pin[k];
   ws.item_entropy_[item] = h;
 }
 
 void DeltaFusionEngine::RecomputeItems(Workspace& ws) const {
-  const CompiledDatabase& c = compiled_;
+  const CompiledDatabase& c = *compiled_;
   const std::size_t m = ws.frontier_.size();
   if (m == 0) return;
+  const bool view_flat = c.flat();
   const std::vector<SourceId>& claim_sources = c.claim_sources();
 
   // Pass 0: lay the frontier's claims out flat (one prefix-sum of offsets),
@@ -187,36 +241,79 @@ void DeltaFusionEngine::RecomputeItems(Workspace& ws) const {
   const double* term = ws.term_.data();
   double* scores = ws.frontier_scores_.data();
   if (kind_ == Kind::kAccu) {
-    for (std::size_t f = 0; f < m; ++f) {
-      const ItemId item = ws.frontier_[f];
-      const std::uint32_t g = c.claim_offset(item);
-      const std::size_t n = c.item_num_claims(item);
-      const double lf = c.log_false_values(item);
-      double* out = scores + ws.frontier_offsets_[f];
-      for (std::size_t k = 0; k < n; ++k) {
-        const std::uint32_t begin = c.claim_sources_begin(g + k);
-        const std::uint32_t end = c.claim_sources_end(g + k);
-        double score = static_cast<double>(end - begin) * lf;
-        for (std::uint32_t v = begin; v < end; ++v) {
-          score += term[claim_sources[v]];
+    if (view_flat) {
+      for (std::size_t f = 0; f < m; ++f) {
+        const ItemId item = ws.frontier_[f];
+        const std::uint32_t g = c.claim_offset(item);
+        const std::size_t n = c.item_base_claims(item);
+        const double lf = c.log_false_values(item);
+        double* out = scores + ws.frontier_offsets_[f];
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::uint32_t begin = c.claim_sources_begin(g + k);
+          const std::uint32_t end = c.claim_sources_end(g + k);
+          double score = static_cast<double>(end - begin) * lf;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            score += term[claim_sources[v]];
+          }
+          out[k] = score;
         }
-        out[k] = score;
+      }
+    } else {
+      for (std::size_t f = 0; f < m; ++f) {
+        const ItemId item = ws.frontier_[f];
+        const std::size_t n = c.item_num_claims(item);
+        const double lf = c.log_false_values(item);
+        double* out = scores + ws.frontier_offsets_[f];
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::uint32_t g = c.global_claim_id(item, k);
+          double score =
+              static_cast<double>(c.claim_num_sources(g)) * lf;
+          c.ForEachClaimSource(g, [&](SourceId j) { score += term[j]; });
+          out[k] = score;
+        }
       }
     }
-  } else {  // kTruthFinder (voting items are never recomputed)
+  } else if (kind_ == Kind::kTruthFinder) {
+    if (view_flat) {
+      for (std::size_t f = 0; f < m; ++f) {
+        const ItemId item = ws.frontier_[f];
+        const std::uint32_t g = c.claim_offset(item);
+        const std::size_t n = c.item_base_claims(item);
+        double* out = scores + ws.frontier_offsets_[f];
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::uint32_t begin = c.claim_sources_begin(g + k);
+          const std::uint32_t end = c.claim_sources_end(g + k);
+          double sigma = 0.0;
+          for (std::uint32_t v = begin; v < end; ++v) {
+            sigma += term[claim_sources[v]];
+          }
+          out[k] = sigma;
+        }
+      }
+    } else {
+      for (std::size_t f = 0; f < m; ++f) {
+        const ItemId item = ws.frontier_[f];
+        const std::size_t n = c.item_num_claims(item);
+        double* out = scores + ws.frontier_offsets_[f];
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::uint32_t g = c.global_claim_id(item, k);
+          double sigma = 0.0;
+          c.ForEachClaimSource(g, [&](SourceId j) { sigma += term[j]; });
+          out[k] = sigma;
+        }
+      }
+    }
+  } else {  // kVoting: scores are live per-claim vote counts. Voting items
+            // never enter the frontier through source enrollment (no
+            // accuracy coupling), but streaming appends do dirty them, so
+            // this branch recomputes exactly VotingFusion's share update.
     for (std::size_t f = 0; f < m; ++f) {
       const ItemId item = ws.frontier_[f];
-      const std::uint32_t g = c.claim_offset(item);
       const std::size_t n = c.item_num_claims(item);
       double* out = scores + ws.frontier_offsets_[f];
       for (std::size_t k = 0; k < n; ++k) {
-        const std::uint32_t begin = c.claim_sources_begin(g + k);
-        const std::uint32_t end = c.claim_sources_end(g + k);
-        double sigma = 0.0;
-        for (std::uint32_t v = begin; v < end; ++v) {
-          sigma += term[claim_sources[v]];
-        }
-        out[k] = sigma;
+        out[k] = static_cast<double>(
+            c.claim_num_sources(c.global_claim_id(item, k)));
       }
     }
   }
@@ -271,7 +368,7 @@ void DeltaFusionEngine::RecomputeItems(Workspace& ws) const {
           h += pk * (lse - s[k]);
         }
       }
-    } else {  // kTruthFinder
+    } else if (kind_ == Kind::kTruthFinder) {
       double total = 0.0;
       for (std::size_t k = 0; k < n; ++k) {
         const double conf = 1.0 / (1.0 + std::exp(-gamma_ * s[k]));
@@ -282,32 +379,45 @@ void DeltaFusionEngine::RecomputeItems(Workspace& ws) const {
         p[k] /= total;
         h += EntropyTerm(p[k]);
       }
+    } else {  // kVoting: normalized vote counts (VotingFusion::VoteShares).
+      double total = 0.0;
+      for (std::size_t k = 0; k < n; ++k) total += s[k];
+      const double inv = total > 0.0 ? 1.0 / total : 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        p[k] = s[k] * inv;
+        h += EntropyTerm(p[k]);
+      }
     }
     ws.frontier_entropy_[f] = h;
   }
 
   // Pass 3: vote-sum delta scatter + writeback, item by item in frontier
   // order — the accumulation order into sum_ is exactly the old loop's.
-  const std::vector<SourceId>& vote_sources = c.item_vote_sources();
-  const std::vector<ClaimIndex>& vote_claims = c.item_vote_claims();
   for (std::size_t f = 0; f < m; ++f) {
     const ItemId item = ws.frontier_[f];
-    const std::uint32_t g = c.claim_offset(item);
     const std::size_t off = ws.frontier_offsets_[f];
     const std::size_t n = ws.frontier_offsets_[f + 1] - off;
     const double* p = probs + off;
-    for (std::uint32_t v = c.item_votes_begin(item);
-         v < c.item_votes_end(item); ++v) {
-      const double dp = p[vote_claims[v]] - ws.prob_[g + vote_claims[v]];
-      if (dp == 0.0) continue;
-      const SourceId j = vote_sources[v];
+    const bool item_flat = c.item_claims_flat(item);
+    const std::uint32_t g = c.claim_offset(item);
+    c.ForEachItemVote(item, [&](SourceId j, ClaimIndex k) {
+      const std::uint32_t gk =
+          item_flat ? g + k : c.global_claim_id(item, k);
+      const double dp = p[k] - ws.prob_[gk];
+      if (dp == 0.0) return;
       ws.sum_[j] += dp;
       if (ws.source_touch_tick_[j] != ws.ticket_) {
         ws.source_touch_tick_[j] = ws.ticket_;
         ws.touched_sources_.push_back(j);
       }
+    });
+    if (item_flat) {
+      for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = p[k];
+    } else {
+      for (std::size_t k = 0; k < n; ++k) {
+        ws.prob_[c.global_claim_id(item, k)] = p[k];
+      }
     }
-    for (std::size_t k = 0; k < n; ++k) ws.prob_[g + k] = p[k];
     ws.item_entropy_[item] = ws.frontier_entropy_[f];
   }
 }
@@ -316,12 +426,11 @@ bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
                                   ItemId extra_pin, bool enforce_coverage,
                                   bool* converged, std::size_t* iterations,
                                   DeltaFusionStats* stats) const {
-  const CompiledDatabase& c = compiled_;
+  const CompiledDatabase& c = *compiled_;
   const double eps =
       delta_opts_.propagation_epsilon_factor * fusion_opts_.tolerance;
   const std::size_t max_touched = static_cast<std::size_t>(
       delta_opts_.max_frontier_fraction * static_cast<double>(c.num_items()));
-  const std::vector<ItemId>& vote_items = c.source_vote_items();
 
   // Each round is one accuracy + probability alternation of the full model,
   // restricted to the active subgraph: every source whose vote-sum ever
@@ -343,11 +452,10 @@ bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
     // since their last update fall through at `delta == 0.0` in O(1).
     double max_delta = 0.0;
     for (SourceId j : ws.touched_sources_) {
-      const std::uint32_t begin = c.source_votes_begin(j);
-      const std::uint32_t end = c.source_votes_end(j);
-      if (begin == end) continue;
+      const std::size_t degree = c.source_degree(j);
+      if (degree == 0) continue;
       const double updated =
-          ClampAccuracy(ws.sum_[j] / static_cast<double>(end - begin));
+          ClampAccuracy(ws.sum_[j] / static_cast<double>(degree));
       const double delta = std::fabs(updated - ws.acc_[j]);
       if (delta == 0.0) continue;
       ws.acc_[j] = updated;
@@ -360,16 +468,15 @@ bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
       if (kind_ != Kind::kVoting && delta >= eps &&
           ws.source_enroll_tick_[j] != ws.ticket_) {
         ws.source_enroll_tick_[j] = ws.ticket_;
-        for (std::uint32_t v = begin; v < end; ++v) {
-          const ItemId i = vote_items[v];
-          if (ws.item_touch_tick_[i] == ws.ticket_) continue;
+        c.ForEachSourceVote(j, [&](ItemId i, std::uint32_t) {
+          if (ws.item_touch_tick_[i] == ws.ticket_) return;
           if (i == extra_pin || c.item_num_claims(i) <= 1 || priors.Has(i)) {
-            continue;
+            return;
           }
           ws.item_touch_tick_[i] = ws.ticket_;
           ws.touched_items_.push_back(i);
           ws.frontier_.push_back(i);
-        }
+        });
       }
     }
 
@@ -425,6 +532,21 @@ FusionResult DeltaFusionEngine::FuseWithPins(const FusionResult& base,
       "delta.peak_frontier", MetricsRegistry::CountEdges());
   calls->Add(1);
 
+  // Shape guard: a base from before an ingest batch no longer matches the
+  // view — flattening it positionally would scatter probabilities into the
+  // wrong claims. Count the violation and re-fuse cold (the result is
+  // correct, just not incremental). FuseWithAppends is the intended path for
+  // folding appends into a stale base.
+  const CompiledDatabase& c = *compiled_;
+  if (base.num_items() != c.num_items() ||
+      base.accuracies().size() != c.num_sources()) {
+    assert(false && "FuseWithPins called with a stale-shaped base");
+    StaleViewCounter()->Add(1);
+    if (stats != nullptr) stats->fell_back = true;
+    fallbacks->Add(1);
+    return model_.Fuse(db_, priors, fusion_opts_);
+  }
+
   const BaseState state = PrepareBase(base);
   Workspace ws;
   SyncWorkspace(state, ws);
@@ -450,12 +572,17 @@ FusionResult DeltaFusionEngine::FuseWithPins(const FusionResult& base,
   touched_hist->Observe(static_cast<double>(out_stats->touched_items));
   frontier_hist->Observe(static_cast<double>(out_stats->peak_frontier));
   FusionResult out = base;
-  const CompiledDatabase& c = compiled_;
   for (ItemId i : ws.touched_items_) {
     std::vector<double>* probs = out.mutable_item_probs(i);
-    const std::uint32_t g = c.claim_offset(i);
-    for (std::size_t k = 0; k < probs->size(); ++k) {
-      (*probs)[k] = ws.prob_[g + k];
+    if (c.item_claims_flat(i)) {
+      const std::uint32_t g = c.claim_offset(i);
+      for (std::size_t k = 0; k < probs->size(); ++k) {
+        (*probs)[k] = ws.prob_[g + k];
+      }
+    } else {
+      for (std::size_t k = 0; k < probs->size(); ++k) {
+        (*probs)[k] = ws.prob_[c.global_claim_id(i, k)];
+      }
     }
   }
   std::vector<double>* accuracies = out.mutable_accuracies();
@@ -476,7 +603,17 @@ double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
   static Counter* lookahead_pins =
       MetricsRegistry::Global().GetCounter("delta.lookahead_pins");
   lookahead_pins->Add(1);
-  const CompiledDatabase& c = compiled_;
+  const CompiledDatabase& c = *compiled_;
+  // Epoch guard: the base flattened a particular view generation; an ingest
+  // batch (or compaction) since then moved claim/vote addresses under it.
+  // Using it would read through the stale layout, so fail loudly in debug
+  // and degrade to "no information" (the unpinned entropy) in release —
+  // never a silently wrong lookahead score.
+  if (base.epoch != c.epoch()) {
+    assert(false && "EntropyAfterExactPin on a stale base state");
+    StaleViewCounter()->Add(1);
+    return base.total_entropy;
+  }
   // First sight of this base: copy it into the flat working arrays. Later
   // calls only pay for what they touch (and restore below).
   if (ws.synced_base_ != &base || ws.synced_id_ != base.id) {
@@ -508,9 +645,18 @@ double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
 
   // Restore the touched entries so the workspace mirrors the base again.
   for (ItemId i : ws.touched_items_) {
-    const std::uint32_t g = c.claim_offset(i);
     const std::size_t ni = c.item_num_claims(i);
-    for (std::size_t k = 0; k < ni; ++k) ws.prob_[g + k] = base.probs[g + k];
+    if (c.item_claims_flat(i)) {
+      const std::uint32_t g = c.claim_offset(i);
+      for (std::size_t k = 0; k < ni; ++k) {
+        ws.prob_[g + k] = base.probs[g + k];
+      }
+    } else {
+      for (std::size_t k = 0; k < ni; ++k) {
+        const std::uint32_t gk = c.global_claim_id(i, k);
+        ws.prob_[gk] = base.probs[gk];
+      }
+    }
     ws.item_entropy_[i] = base.item_entropy[i];
   }
   for (SourceId j : ws.touched_sources_) {
@@ -519,6 +665,134 @@ double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
     ws.sum_[j] = base.source_sums[j];
   }
   return total;
+}
+
+void DeltaFusionEngine::SeedDirty(Workspace& ws, const PriorSet& priors,
+                                  const std::vector<ItemId>& dirty_items,
+                                  const std::vector<SourceId>& dirty_sources) const {
+  const CompiledDatabase& c = *compiled_;
+  for (ItemId i : dirty_items) {
+    if (ws.item_touch_tick_[i] == ws.ticket_) continue;
+    ws.item_touch_tick_[i] = ws.ticket_;
+    ws.touched_items_.push_back(i);
+    // Pinned and single-claim items are fixed; everything else must be
+    // recomputed against the new vote structure.
+    if (c.item_num_claims(i) > 1 && !priors.Has(i)) {
+      ws.frontier_.push_back(i);
+    }
+  }
+  for (SourceId j : dirty_sources) {
+    if (ws.source_touch_tick_[j] == ws.ticket_) continue;
+    ws.source_touch_tick_[j] = ws.ticket_;
+    ws.touched_sources_.push_back(j);
+  }
+}
+
+Result<FusionResult> DeltaFusionEngine::FuseWithAppends(
+    const FusionResult& base, const PriorSet& priors,
+    const std::vector<ItemId>& dirty_items,
+    const std::vector<SourceId>& dirty_sources,
+    DeltaFusionStats* stats) const {
+  VERITAS_SPAN("delta.fuse_with_appends");
+  static Counter* calls =
+      MetricsRegistry::Global().GetCounter("delta.fuse_with_appends");
+  static Counter* fallbacks =
+      MetricsRegistry::Global().GetCounter("delta.fallbacks");
+  calls->Add(1);
+
+  const CompiledDatabase& c = *compiled_;
+  if (base.num_items() > c.num_items() ||
+      base.accuracies().size() > c.num_sources()) {
+    return Status::InvalidArgument(
+        "FuseWithAppends: base result is from a newer shape than the view");
+  }
+
+  // Extend the stale base to the current shape: existing probabilities and
+  // accuracies carry over verbatim, appended claims start at probability 0
+  // (no support yet under the old state), appended sources start at the
+  // model's initial accuracy, and pinned items take their (already
+  // zero-extended) prior distributions. Every approximation introduced here
+  // lives on the dirty set, which is exactly what the propagation below
+  // recomputes.
+  FusionResult seed(db_, fusion_opts_.initial_accuracy);
+  for (ItemId i = 0; i < db_.num_items(); ++i) {
+    std::vector<double>* probs = seed.mutable_item_probs(i);
+    if (priors.Has(i)) {
+      const std::vector<double>& pin = priors.Get(i);
+      if (pin.size() != probs->size()) {
+        return Status::InvalidArgument(
+            "FuseWithAppends: pinned prior not extended to the current "
+            "claim count of item " +
+            std::to_string(i));
+      }
+      *probs = pin;
+      continue;
+    }
+    if (i < base.num_items()) {
+      const std::vector<double>& old = base.item_probs(i);
+      if (old.size() > probs->size()) {
+        return Status::InvalidArgument(
+            "FuseWithAppends: item " + std::to_string(i) +
+            " lost claims relative to the base result");
+      }
+      for (std::size_t k = 0; k < old.size(); ++k) (*probs)[k] = old[k];
+      // New claims of an existing item stay at 0; the item is dirty and gets
+      // recomputed.
+    } else if (probs->size() == 1) {
+      // Brand-new single-claim item: unanimous, probability 1 (what any
+      // model's normalization yields, and never recomputed).
+      (*probs)[0] = 1.0;
+    } else {
+      // Brand-new conflicted item: uniform seed; it is dirty by construction
+      // and recomputed on the first round.
+      const double u = 1.0 / static_cast<double>(probs->size());
+      for (double& p : *probs) p = u;
+    }
+  }
+  std::vector<double>* accuracies = seed.mutable_accuracies();
+  for (SourceId j = 0; j < base.accuracies().size(); ++j) {
+    (*accuracies)[j] = base.accuracies()[j];
+  }
+
+  // Flatten against the *current* structure (source sums are recomputed from
+  // scratch here, so revised votes are already reflected), then propagate
+  // from the dirty set exactly like a pin-ripple.
+  const BaseState state = PrepareBase(seed);
+  Workspace ws;
+  SyncWorkspace(state, ws);
+  ++ws.ticket_;
+  SeedDirty(ws, priors, dirty_items, dirty_sources);
+
+  DeltaFusionStats local_stats;
+  DeltaFusionStats* out_stats = stats != nullptr ? stats : &local_stats;
+  bool conv = false;
+  std::size_t iters = 0;
+  if (!Propagate(ws, priors, kInvalidItem, /*enforce_coverage=*/true, &conv,
+                 &iters, out_stats)) {
+    out_stats->fell_back = true;
+    fallbacks->Add(1);
+    return model_.Fuse(db_, priors, fusion_opts_, &seed);
+  }
+
+  FusionResult out = std::move(seed);
+  for (ItemId i : ws.touched_items_) {
+    std::vector<double>* probs = out.mutable_item_probs(i);
+    if (c.item_claims_flat(i)) {
+      const std::uint32_t g = c.claim_offset(i);
+      for (std::size_t k = 0; k < probs->size(); ++k) {
+        (*probs)[k] = ws.prob_[g + k];
+      }
+    } else {
+      for (std::size_t k = 0; k < probs->size(); ++k) {
+        (*probs)[k] = ws.prob_[c.global_claim_id(i, k)];
+      }
+    }
+  }
+  std::vector<double>* out_acc = out.mutable_accuracies();
+  for (SourceId j : ws.touched_sources_) (*out_acc)[j] = ws.acc_[j];
+  out.set_iterations(iters);
+  out.set_converged(conv);
+  return out;
 }
 
 }  // namespace veritas

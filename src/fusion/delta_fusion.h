@@ -42,8 +42,11 @@
 #include "fusion/priors.h"
 #include "model/compiled_database.h"
 #include "model/database.h"
+#include "util/result.h"
 
 namespace veritas {
+
+class StreamingDatabase;
 
 /// Knobs of the incremental engine.
 struct DeltaFusionOptions {
@@ -125,6 +128,12 @@ class DeltaFusionEngine {
   struct BaseState {
     const FusionResult* origin = nullptr;
     std::uint64_t id = 0;
+    /// CompiledDatabase epoch this state was flattened against. Every lookup
+    /// into `probs`/`source_sums` is positional in that epoch's layout; the
+    /// engine checks it before each use and fails loudly on mismatch instead
+    /// of silently reading through a stale view (see
+    /// `delta.stale_view_violations`).
+    std::uint64_t epoch = 0;
     std::vector<double> probs;        ///< By global claim id.
     std::vector<double> accuracies;   ///< Clamped.
     std::vector<double> source_sums;  ///< Sum of vote probabilities.
@@ -136,12 +145,21 @@ class DeltaFusionEngine {
   /// True when `model` has the local-update structure the engine exploits.
   static bool Supports(const FusionModel& model);
 
-  /// Builds an engine, or null when the model is unsupported.
+  /// Builds an engine, or null when the model is unsupported. Owns its
+  /// CompiledDatabase view (frozen databases — the view never changes).
   static std::unique_ptr<DeltaFusionEngine> Create(
       const Database& db, const FusionModel& model, FusionOptions fusion_opts,
       DeltaFusionOptions delta_opts = {});
 
-  const CompiledDatabase& compiled() const { return compiled_; }
+  /// Streaming variant: borrows the StreamingDatabase's live view instead of
+  /// compiling a private copy, so ingest batches become visible to the engine
+  /// as soon as they land (each bumping the shared epoch). `stream` must
+  /// outlive the engine.
+  static std::unique_ptr<DeltaFusionEngine> Create(
+      const StreamingDatabase& stream, const FusionModel& model,
+      FusionOptions fusion_opts, DeltaFusionOptions delta_opts = {});
+
+  const CompiledDatabase& compiled() const { return *compiled_; }
   const FusionOptions& fusion_options() const { return fusion_opts_; }
   const DeltaFusionOptions& delta_options() const { return delta_opts_; }
 
@@ -171,12 +189,32 @@ class DeltaFusionEngine {
                               ClaimIndex claim,
                               DeltaFusionStats* stats = nullptr) const;
 
+  /// Streaming re-fusion: folds freshly appended observations into a
+  /// converged result instead of re-fusing from scratch. `base` is the
+  /// converged result from *before* the appends (its shape may lag the
+  /// database — missing the new items/sources/claims); `dirty_items` /
+  /// `dirty_sources` are the entities the appends touched (from
+  /// StreamingDatabase::TakeDirty). The engine extends `base` to the current
+  /// shape (new claims at probability 0, new sources at the initial
+  /// accuracy, new single-claim items pinned), seeds the propagation
+  /// frontier from the dirty set — an append enrolls exactly like a
+  /// pin-ripple — and relaxes to convergence. Falls back to a full
+  /// warm-started Fuse on frontier overflow. Fails (InvalidArgument) when
+  /// `base` is from a *newer* shape than the database, which indicates caller
+  /// confusion rather than staleness.
+  Result<FusionResult> FuseWithAppends(const FusionResult& base,
+                                       const PriorSet& priors,
+                                       const std::vector<ItemId>& dirty_items,
+                                       const std::vector<SourceId>& dirty_sources,
+                                       DeltaFusionStats* stats = nullptr) const;
+
  private:
   enum class Kind { kAccu, kVoting, kTruthFinder };
 
   DeltaFusionEngine(const Database& db, const FusionModel& model, Kind kind,
                     double gamma, FusionOptions fusion_opts,
-                    DeltaFusionOptions delta_opts);
+                    DeltaFusionOptions delta_opts,
+                    const CompiledDatabase* external_view);
 
   double ScoreTerm(double accuracy) const;
   /// Copies `base` into the workspace's flat working arrays.
@@ -198,13 +236,23 @@ class DeltaFusionEngine {
                  bool enforce_coverage, bool* converged,
                  std::size_t* iterations, DeltaFusionStats* stats) const;
 
+  /// Seeds `ws` for a propagation over an already-pinned/extended state:
+  /// marks `dirty_items` touched (multi-claim unpinned ones enter the
+  /// frontier) and `dirty_sources` touched.
+  void SeedDirty(Workspace& ws, const PriorSet& priors,
+                 const std::vector<ItemId>& dirty_items,
+                 const std::vector<SourceId>& dirty_sources) const;
+
   const Database& db_;
   const FusionModel& model_;
   Kind kind_;
   double gamma_;
   FusionOptions fusion_opts_;
   DeltaFusionOptions delta_opts_;
-  CompiledDatabase compiled_;
+  // The CSR view: owned for frozen databases, borrowed from a
+  // StreamingDatabase when the engine follows a live stream.
+  std::unique_ptr<CompiledDatabase> owned_compiled_;
+  const CompiledDatabase* compiled_;
 };
 
 }  // namespace veritas

@@ -47,6 +47,17 @@ Status PriorSet::SetDistribution(const Database& db, ItemId item,
   return Status::OK();
 }
 
+std::size_t PriorSet::ExtendForNewClaims(const Database& db) {
+  std::size_t extended = 0;
+  for (auto& [item, probs] : priors_) {
+    if (item < db.num_items() && probs.size() < db.num_claims(item)) {
+      probs.resize(db.num_claims(item), 0.0);
+      ++extended;
+    }
+  }
+  return extended;
+}
+
 std::vector<ItemId> PriorSet::Items() const {
   std::vector<ItemId> out;
   out.reserve(priors_.size());

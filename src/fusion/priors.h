@@ -39,6 +39,13 @@ class PriorSet {
     return priors_.at(item);
   }
 
+  /// Zero-extends every pinned distribution to its item's current claim
+  /// count. Streaming appends can add claims to an already-validated item;
+  /// the validated answer keeps probability 1 and the newcomer claims get 0
+  /// (the oracle's verdict stands — a late claim is not evidence against
+  /// it). Returns the number of priors extended.
+  std::size_t ExtendForNewClaims(const Database& db);
+
   std::size_t size() const { return priors_.size(); }
   bool empty() const { return priors_.empty(); }
   void Clear() { priors_.clear(); }

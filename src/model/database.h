@@ -78,6 +78,10 @@ class Database {
 
  private:
   friend class DatabaseBuilder;
+  // StreamingDatabase appends observations in place (keeping every sorted
+  // invariant) so readers holding a reference see each ingest batch without
+  // a rebuild; see model/streaming_database.h.
+  friend class StreamingDatabase;
 
   std::vector<Item> items_;
   std::vector<Source> sources_;

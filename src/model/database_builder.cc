@@ -50,13 +50,35 @@ Status DatabaseBuilder::AddObservation(const std::string& source,
   PendingSource& ps = sources_[source_id];
   auto vit = ps.votes.find(item_id);
   if (vit != ps.votes.end()) {
-    if (vit->second == claim) return Status::OK();  // Idempotent duplicate.
-    return Status::InvalidArgument("source '" + source +
-                                   "' votes twice on item '" + item +
-                                   "' with different values");
+    if (vit->second == claim) {
+      ++num_duplicates_;  // Idempotent duplicate.
+      return Status::OK();
+    }
+    // Last write wins: the source revised its value. The old claim loses
+    // this source's support at Build() time (votes are the single source of
+    // truth there); the new claim gains it. The claim value itself stays
+    // registered even if no vote backs it any more.
+    vit->second = claim;
+    ++num_revisions_;
+    return Status::OK();
   }
   ps.votes.emplace(item_id, claim);
   return Status::OK();
+}
+
+bool DatabaseBuilder::WouldRevise(const std::string& source,
+                                  const std::string& item,
+                                  const std::string& value) const {
+  const auto sit = source_index_.find(source);
+  if (sit == source_index_.end()) return false;
+  const auto iit = item_index_.find(item);
+  if (iit == item_index_.end()) return false;
+  const auto vit = sources_[sit->second].votes.find(iit->second);
+  if (vit == sources_[sit->second].votes.end()) return false;
+  const auto cit = items_[iit->second].claim_index.find(value);
+  // A not-yet-interned value is necessarily different from the current vote.
+  return cit == items_[iit->second].claim_index.end() ||
+         cit->second != vit->second;
 }
 
 Database DatabaseBuilder::Build() const {

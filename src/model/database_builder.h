@@ -14,13 +14,19 @@ namespace veritas {
 
 /// Builds a Database one observation at a time.
 ///
-/// Each source may vote at most once per item (paper §1.2); a second vote by
-/// the same source on the same item is an error unless it repeats the same
-/// value, in which case it is ignored as a duplicate.
+/// Each source holds at most one vote per item (paper §1.2). Re-observations
+/// are last-write-wins: repeating the same value is an idempotent duplicate,
+/// while a *different* value revises the vote — the old claim loses the
+/// source's support and the new claim gains it (streaming sources correct
+/// themselves all the time; rejecting the revision froze the database and
+/// made append paths impossible). Duplicates and revisions are counted
+/// separately from fresh observations so ingestion layers can report them.
 class DatabaseBuilder {
  public:
   /// Registers the observation "source claims that item has value".
   /// Names are interned; new items/sources/claims are created on demand.
+  /// Never fails on a re-observation: same value = duplicate (no-op),
+  /// different value = revision (last write wins).
   Status AddObservation(const std::string& source, const std::string& item,
                         const std::string& value);
 
@@ -33,6 +39,18 @@ class DatabaseBuilder {
 
   std::size_t num_items() const { return items_.size(); }
   std::size_t num_sources() const { return sources_.size(); }
+
+  /// Observations that replaced an earlier different-valued vote of the same
+  /// source on the same item (last-write-wins revisions).
+  std::size_t num_revisions() const { return num_revisions_; }
+  /// Observations that repeated an existing identical vote verbatim.
+  std::size_t num_duplicates() const { return num_duplicates_; }
+
+  /// True when `source` already votes on `item` with a value other than
+  /// `value` — i.e. AddObservation(source, item, value) would be a revision.
+  /// Unknown sources/items simply yield false.
+  bool WouldRevise(const std::string& source, const std::string& item,
+                   const std::string& value) const;
 
   /// Finalizes the database. The builder can keep being used afterwards
   /// (Build copies). Claim source lists and source vote lists are sorted.
@@ -56,6 +74,8 @@ class DatabaseBuilder {
   std::vector<PendingSource> sources_;
   std::unordered_map<std::string, ItemId> item_index_;
   std::unordered_map<std::string, SourceId> source_index_;
+  std::size_t num_revisions_ = 0;
+  std::size_t num_duplicates_ = 0;
 };
 
 }  // namespace veritas

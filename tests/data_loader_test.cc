@@ -74,10 +74,19 @@ TEST_F(LoaderTest, WrongArityIsError) {
   EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(LoaderTest, DoubleVoteIsError) {
+TEST_F(LoaderTest, DoubleVoteIsLastWriteWins) {
   WriteFile(obs_path_, "s1,movie,a\ns1,movie,b\n");
   const auto db = LoadObservations(obs_path_);
-  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db.ok());
+  // The second row revises the first: s1's vote moves from "a" to "b".
+  EXPECT_EQ(db->num_observations(), 1u);
+  const ItemId movie = *db->FindItem("movie");
+  const auto a = db->FindClaim(movie, "a");
+  const auto b = db->FindClaim(movie, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(db->item(movie).claims[*a].sources.empty());
+  EXPECT_EQ(db->item(movie).claims[*b].sources.size(), 1u);
 }
 
 TEST_F(LoaderTest, MissingFileIsIoError) {

@@ -39,11 +39,21 @@ TEST(DatabaseBuilderTest, DuplicateSameValueIsIdempotent) {
   EXPECT_EQ(db.num_observations(), 1u);
 }
 
-TEST(DatabaseBuilderTest, ConflictingDoubleVoteRejected) {
+TEST(DatabaseBuilderTest, ConflictingDoubleVoteIsLastWriteWins) {
   DatabaseBuilder builder;
   ASSERT_TRUE(builder.AddObservation("s", "o", "v1").ok());
-  const Status st = builder.AddObservation("s", "o", "v2");
-  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(builder.WouldRevise("s", "o", "v1"));
+  EXPECT_TRUE(builder.WouldRevise("s", "o", "v2"));
+  ASSERT_TRUE(builder.AddObservation("s", "o", "v2").ok());
+  const Database db = builder.Build();
+  // Still one vote; it moved to the newer claim. The abandoned claim value
+  // stays registered (with no supporters).
+  EXPECT_EQ(db.num_observations(), 1u);
+  EXPECT_EQ(builder.num_revisions(), 1u);
+  EXPECT_EQ(builder.num_duplicates(), 0u);
+  ASSERT_EQ(db.num_claims(0), 2u);
+  EXPECT_TRUE(db.item(0).claims[0].sources.empty());
+  ASSERT_EQ(db.item(0).claims[1].sources.size(), 1u);
 }
 
 TEST(DatabaseBuilderTest, InterningIsStable) {

@@ -113,9 +113,20 @@ Status RunStats(const ArgMap& args) {
   table.AddRow({"sources covering <4% of items",
                 Pct(CoverageBelow(db, 0.04) * 100.0)});
   if (args.Has("truth")) {
-    VERITAS_ASSIGN_OR_RETURN(GroundTruth truth, RequireTruth(args, db));
+    VERITAS_ASSIGN_OR_RETURN(
+        TruthLoadReport report,
+        LoadGroundTruth(args.GetString("truth"), db));
+    const DatasetStats truth_stats = ComputeStats(db, report);
     table.AddRow({"items with known truth",
-                  std::to_string(truth.num_known())});
+                  std::to_string(report.truth.num_known())});
+    table.AddRow({"truth rows applied",
+                  std::to_string(truth_stats.truth_applied)});
+    // Mismatches are normal for silver standards, but a nonzero unknown-item
+    // count on a stream usually means truth arrived before the observations.
+    table.AddRow({"truth rows: unknown item",
+                  std::to_string(truth_stats.truth_unknown_item)});
+    table.AddRow({"truth rows: unknown claim",
+                  std::to_string(truth_stats.truth_unknown_claim)});
   }
   table.Print(std::cout);
   return Status::OK();
