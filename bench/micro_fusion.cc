@@ -185,7 +185,9 @@ int WriteJsonBaseline(const std::string& path) {
         .Set("entropy_pin_ns_per_op", pin_s * 1e9)
         .Set("delta_vs_warm_speedup", warm_s / delta_s);
   }
-  const Status status = json.Write(path);
+  // Upsert by record name: the file is shared with the other bench binaries,
+  // each of which owns its own record names.
+  const Status status = json.MergeInto(path);
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
     return 1;

@@ -195,9 +195,56 @@ std::vector<ItemId> ApproxMeuStrategy::SelectBatch(const StrategyContext& ctx,
   if (num_threads_ > 1 && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
+  const std::size_t shards =
+      ctx.fusion_opts != nullptr ? ctx.fusion_opts->shards : 1;
+  if (shards > 1 && ctx.delta != nullptr && candidates.size() > batch) {
+    return SelectBatchSharded(ctx, candidates, batch, shards);
+  }
   const std::vector<double> gains =
       ScoreCandidates(ctx, candidates, /*impact_filter=*/nullptr, pool_.get());
   return TopKByScore(candidates, gains, batch);
+}
+
+std::vector<ItemId> ApproxMeuStrategy::SelectBatchSharded(
+    const StrategyContext& ctx, const std::vector<ItemId>& candidates,
+    std::size_t batch, std::size_t shards) {
+  VERITAS_SPAN("strategy.approx_meu.select_sharded");
+  shard_plan_.Prepare(ctx.delta->compiled(), shards);
+  const ShardPartition& partition = shard_plan_.partition();
+  const std::size_t quota = ShardedScanPlan::MergeQuota(batch);
+
+  // Stage 1: per-shard scans. The existing Approx-MEU_k impact_filter
+  // mechanism is the confinement: each shard's candidates only count the
+  // entropy impact on neighbours inside the same shard, so a head source's
+  // cross-shard fan-out is never walked during the estimate pass.
+  std::vector<std::vector<std::size_t>> by_shard(partition.num_shards());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    by_shard[partition.shard_of(candidates[i])].push_back(i);
+  }
+  std::vector<double> estimates(candidates.size(), 0.0);
+  std::vector<bool> in_shard(ctx.db->num_items(), false);
+  std::vector<ItemId> shard_candidates;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    const std::vector<std::size_t>& bucket = by_shard[s];
+    if (bucket.empty()) continue;  // Fewer hot items than shards is fine.
+    for (ItemId i = 0; i < ctx.db->num_items(); ++i) {
+      in_shard[i] = partition.shard_of(i) == s;
+    }
+    shard_candidates.clear();
+    for (std::size_t idx : bucket) shard_candidates.push_back(candidates[idx]);
+    const std::vector<double> scored =
+        ScoreCandidates(ctx, shard_candidates, &in_shard, pool_.get());
+    for (std::size_t r = 0; r < bucket.size(); ++r) {
+      estimates[bucket[r]] = scored[r];
+    }
+  }
+
+  // Coordinator merge, then stage 2: unfiltered exact re-score of the pool.
+  const std::vector<ItemId> pool =
+      MergeTopCandidatesPerShard(candidates, estimates, partition, quota);
+  const std::vector<double> gains =
+      ScoreCandidates(ctx, pool, /*impact_filter=*/nullptr, pool_.get());
+  return TopKByScore(pool, gains, batch);
 }
 
 }  // namespace veritas

@@ -29,6 +29,7 @@
 #include <unordered_map>
 
 #include "core/strategy.h"
+#include "fusion/sharded_scan.h"
 #include "util/thread_pool.h"
 
 namespace veritas {
@@ -89,8 +90,18 @@ class ApproxMeuStrategy : public Strategy {
       const std::vector<bool>* impact_filter, ThreadPool* pool = nullptr);
 
  private:
+  /// The sharded two-stage selection behind FusionOptions::shards > 1
+  /// (fusion/sharded_scan.h): per-shard scans whose impact_filter confines
+  /// each candidate's neighbour impact to its own shard, a deterministic
+  /// top-quota merge, then an unfiltered re-score of the merged pool.
+  /// Requires ctx.delta (for the compiled view the partition is built on).
+  std::vector<ItemId> SelectBatchSharded(const StrategyContext& ctx,
+                                         const std::vector<ItemId>& candidates,
+                                         std::size_t batch, std::size_t shards);
+
   std::size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // Lazy; persists across rounds.
+  ShardedScanPlan shard_plan_;  // Cached partition (epoch/shard-count keyed).
 };
 
 }  // namespace veritas

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <unordered_map>
 
 #include "core/metrics.h"
 #include "obs/metrics.h"
@@ -78,6 +79,29 @@ std::vector<ItemId> GubStrategy::SelectBatch(const StrategyContext& ctx,
   } else {
     if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
     pool_->ParallelFor(candidates.size(), /*chunk_size=*/4, body);
+  }
+
+  // Sharded coordinator merge (fusion/sharded_scan.h): per-shard top-batch
+  // by exact gain, merged, then the final rank over the pool. GUB gains are
+  // item-independent, so this selects exactly the flat scan's batch — the
+  // path exists so the merge protocol is exercised (and tested) on the one
+  // strategy where identity is a theorem rather than an empirical check.
+  const std::size_t shards =
+      ctx.fusion_opts != nullptr ? ctx.fusion_opts->shards : 1;
+  if (shards > 1 && ctx.delta != nullptr && candidates.size() > batch) {
+    shard_plan_.Prepare(ctx.delta->compiled(), shards);
+    const std::vector<ItemId> pool = MergeTopCandidatesPerShard(
+        candidates, gains, shard_plan_.partition(), batch);
+    std::vector<double> pool_gains(pool.size(), 0.0);
+    std::unordered_map<ItemId, double> gain_of;
+    gain_of.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      gain_of.emplace(candidates[i], gains[i]);
+    }
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      pool_gains[i] = gain_of.at(pool[i]);
+    }
+    return TopKByScore(pool, pool_gains, batch);
   }
   return TopKByScore(candidates, gains, batch);
 }

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/strategy.h"
+#include "fusion/sharded_scan.h"
 #include "util/thread_pool.h"
 
 namespace veritas {
@@ -52,6 +53,11 @@ class GubStrategy : public Strategy {
   GubMode mode_;
   std::size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  // Lazy; persists across rounds.
+  /// Cached partition for FusionOptions::shards > 1. GUB's gains are exact
+  /// and item-independent, so the per-shard top-batch merge provably selects
+  /// the same items as the flat scan (every global top-batch item is in its
+  /// own shard's top-batch).
+  ShardedScanPlan shard_plan_;
 };
 
 }  // namespace veritas

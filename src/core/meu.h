@@ -26,6 +26,7 @@
 
 #include "core/strategy.h"
 #include "fusion/delta_fusion.h"
+#include "fusion/sharded_scan.h"
 #include "util/thread_pool.h"
 
 namespace veritas {
@@ -105,6 +106,26 @@ class MeuStrategy : public Strategy {
   std::vector<std::size_t> ScanOrder(const StrategyContext& ctx,
                                      const std::vector<ItemId>& candidates) const;
 
+  /// The scan body behind ScoreCandidateGains. With a non-null `plan`, gains
+  /// are shard-confined *estimates* (each candidate's lookahead propagates
+  /// inside its own shard only) and branch-and-bound runs per shard with
+  /// `top_k` as the per-shard quota; the seed ranking is not updated (it
+  /// belongs to the exact scan). With a null plan this is the classic exact
+  /// scan. `shared_base`, when non-null, is a flattened base the caller owns
+  /// — the sharded path prepares it once and reuses it across both stages
+  /// (flattening is O(database), the stages are not).
+  std::vector<double> ScanCandidateGains(
+      const StrategyContext& ctx, const std::vector<ItemId>& candidates,
+      std::size_t top_k, bool allow_prune, const ShardedScanPlan* plan,
+      const DeltaFusionEngine::BaseState* shared_base = nullptr);
+
+  /// The sharded two-stage selection (fusion/sharded_scan.h): confined
+  /// per-shard estimate scan, deterministic top-quota merge, exact
+  /// unconfined re-rank of the merged pool. Requires the delta path.
+  std::vector<ItemId> SelectBatchSharded(const StrategyContext& ctx,
+                                         const std::vector<ItemId>& candidates,
+                                         std::size_t batch, std::size_t shards);
+
   std::size_t num_threads_;
   MeuScanOptions scan_;
   std::unique_ptr<ThreadPool> pool_;  // Lazy; persists across rounds.
@@ -112,6 +133,9 @@ class MeuStrategy : public Strategy {
   /// base sync per lane instead of re-allocating O(database) scratch.
   std::vector<DeltaFusionEngine::Workspace> lane_ws_;
   std::vector<ItemId> seed_ranking_;  // Last round's best, best first.
+  /// Cached shard partition for FusionOptions::shards > 1 (rebuilt on epoch
+  /// or shard-count change).
+  ShardedScanPlan shard_plan_;
 };
 
 }  // namespace veritas

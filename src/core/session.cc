@@ -174,6 +174,15 @@ Result<SessionTrace> FeedbackSession::Run() {
           "streaming session: checkpoint/resume is not supported (a "
           "checkpoint snapshots fusion state against a fixed database)");
     }
+    if (streaming.compaction.has_value()) {
+      const StreamingOptions& policy = *streaming.compaction;
+      if (policy.compact_tail_fraction <= 0.0 ||
+          policy.compact_tail_fraction > 1.0) {
+        return Status::InvalidArgument(
+            "streaming session: compact_tail_fraction must be in (0, 1]");
+      }
+      streaming.stream->set_options(policy);
+    }
   }
 
   SessionTrace trace;

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,11 @@ struct StreamingSessionConfig {
   /// the oracle hard-fails on unknown truth (GroundTruthOracle): a streamed
   /// item then waits for its truth row instead of aborting the session.
   bool require_known_truth = false;
+  /// When set, replaces the stream's compaction policy at session start —
+  /// how the CLI/replay `--compact-tail-fraction` / `--compact-min-tail`
+  /// flags reach the database the session ticks. Unset keeps whatever policy
+  /// the StreamingDatabase was constructed with.
+  std::optional<StreamingOptions> compaction;
 
   bool active() const { return stream != nullptr; }
 };

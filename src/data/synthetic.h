@@ -20,11 +20,13 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "model/database.h"
 #include "model/ground_truth.h"
 #include "model/streaming_database.h"
+#include "util/result.h"
 
 namespace veritas {
 
@@ -115,6 +117,68 @@ struct LongTailConfig {
 
 /// Generates a long-tail dataset.
 SyntheticDataset GenerateLongTail(const LongTailConfig& config);
+
+/// A declarative generator request: the shape name selects the generator,
+/// the common fields size it, and `params` carries generator-specific knobs
+/// as strings (so benchmark drivers and CI configs can pass them through
+/// without compiling against each config struct). Unknown param keys are
+/// rejected — a typo must not silently fall back to a default.
+struct DatasetSpec {
+  /// Human-friendly tag used in logs / bench record names.
+  std::string name = "synthetic";
+  /// Generator: "dense", "longtail", or "scaled_longtail".
+  std::string shape = "scaled_longtail";
+  std::size_t num_items = 100000;
+  std::size_t num_sources = 10000;
+  std::uint64_t seed = 42;
+  /// Generator-specific parameters, e.g. {{"hot_items", "512"}}.
+  /// Keys per shape are documented at GenerateFromSpec.
+  std::unordered_map<std::string, std::string> params;
+};
+
+/// Metadata the generator reports back about what it actually built
+/// (requested sizes are clamped/derived in places; benchmarks record the
+/// achieved shape, not the request).
+struct GenerationReport {
+  std::string generator;
+  std::string dataset_name;
+  std::size_t num_items = 0;
+  std::size_t num_sources = 0;
+  std::size_t num_observations = 0;
+  /// Items carrying more than one claim (the candidate set of a strategy
+  /// scan that excludes singletons).
+  std::size_t contested_items = 0;
+  /// Head sources (scaled_longtail only): the shared-coverage sources that
+  /// couple items across the whole database.
+  std::size_t head_sources = 0;
+  /// Fraction of items covered by the heaviest single source.
+  double max_source_coverage = 0.0;
+  /// Free-form diagnostics.
+  std::string notes;
+};
+
+/// Builds a dataset from a declarative spec. Shapes and their params:
+///   "dense"     — GenerateDense. Params: density, accuracy_mean,
+///                 accuracy_sd, max_false_claims, copier_fraction,
+///                 ensure_true_claim, revision_fraction, emit_stream.
+///   "longtail"  — GenerateLongTail. Params: avg_votes_per_item,
+///                 pareto_alpha, max_coverage_fraction, plus the dense set
+///                 minus density.
+///   "scaled_longtail" — the million-item scale-out shape (DESIGN.md §5h):
+///                 a few head sources jointly cover every item (coupling
+///                 all items through shared sources), every tail item gets
+///                 `base_votes` agreeing votes (zero entropy, excluded from
+///                 candidate scans), and `hot_items` contested items carry
+///                 two claims whose fused entropy ramps continuously from
+///                 ~ln 2 down to ~0 (per-item contester sources with
+///                 controlled degrees set the log-odds gap). Built without
+///                 any per-item database snapshotting, so it scales to 1M+
+///                 items. Params: head_sources (8), base_votes (2),
+///                 hot_items (512), contester_degree (30), max_hot_logit
+///                 (1.0).
+/// Unknown shapes or param keys, and invalid values, return InvalidArgument.
+Result<SyntheticDataset> GenerateFromSpec(const DatasetSpec& spec,
+                                          GenerationReport* report = nullptr);
 
 /// Name of the true value of item i ("T<i>") — the value the generator's
 /// accurate votes use. False values are "F<i>_<k>".

@@ -5,7 +5,9 @@
 // The format is deliberately flat: one top-level object with a schema tag,
 // free-form metadata strings, and a `records` array of named measurements
 // whose fields are numbers, strings or booleans. No external JSON library —
-// the writer only ever emits, never parses.
+// a small scanner for exactly this flat subset handles the read side, so
+// several bench binaries can merge their records into one shared baseline
+// file (BENCH_fusion.json) without clobbering each other.
 #ifndef VERITAS_EXP_BENCH_JSON_H_
 #define VERITAS_EXP_BENCH_JSON_H_
 
@@ -13,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/result.h"
 #include "util/status.h"
 
 namespace veritas {
@@ -48,6 +51,22 @@ class BenchJsonFile {
 
   /// Writes the document to `path` (overwrite).
   Status Write(const std::string& path) const;
+
+  /// Merge-safe append: parses the existing document at `path` (if any),
+  /// upserts this file's records into it, and atomically rewrites the whole
+  /// document. A record replaces an existing same-named record when every
+  /// field listed in `key_fields` agrees (a field absent from both sides
+  /// counts as agreeing); otherwise it is appended. Meta keys from this file
+  /// overwrite same-named keys; all other existing meta and records are
+  /// preserved in their original order. A missing or unparsable file is
+  /// replaced outright, so the call degrades to Write().
+  Status MergeInto(const std::string& path,
+                   const std::vector<std::string>& key_fields = {}) const;
+
+  /// Parses a document previously produced by Render() (any whitespace
+  /// layout; values must be flat scalars). The inverse of Render up to
+  /// number formatting, which is preserved verbatim.
+  static Result<BenchJsonFile> Parse(const std::string& text);
 
   /// The rendered document, for tests and stdout mirroring.
   std::string Render() const;

@@ -425,7 +425,8 @@ void DeltaFusionEngine::RecomputeItems(Workspace& ws) const {
 bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
                                   ItemId extra_pin, bool enforce_coverage,
                                   bool* converged, std::size_t* iterations,
-                                  DeltaFusionStats* stats) const {
+                                  DeltaFusionStats* stats,
+                                  const ItemScope* scope) const {
   const CompiledDatabase& c = *compiled_;
   const double eps =
       delta_opts_.propagation_epsilon_factor * fusion_opts_.tolerance;
@@ -468,11 +469,32 @@ bool DeltaFusionEngine::Propagate(Workspace& ws, const PriorSet& priors,
       if (kind_ != Kind::kVoting && delta >= eps &&
           ws.source_enroll_tick_[j] != ws.ticket_) {
         ws.source_enroll_tick_[j] = ws.ticket_;
+        if (scope != nullptr && scope->conflict_items != nullptr &&
+            scope->conflict_items->size() < degree) {
+          // Confined fast path: enroll from the shard's (small) conflict
+          // list instead of walking a heavy source's whole vote list. This
+          // may over-enroll in-scope items the source does not vote on —
+          // their scores have not moved, so the recompute is a no-op — and
+          // is what keeps a confined lookahead independent of the degree of
+          // a database-spanning head source.
+          for (const ItemId i : *scope->conflict_items) {
+            if (ws.item_touch_tick_[i] == ws.ticket_) continue;
+            if (i == extra_pin || priors.Has(i)) continue;
+            ws.item_touch_tick_[i] = ws.ticket_;
+            ws.touched_items_.push_back(i);
+            ws.frontier_.push_back(i);
+          }
+          continue;
+        }
         c.ForEachSourceVote(j, [&](ItemId i, std::uint32_t) {
           if (ws.item_touch_tick_[i] == ws.ticket_) return;
           if (i == extra_pin || c.item_num_claims(i) <= 1 || priors.Has(i)) {
             return;
           }
+          // Shard confinement: the ripple stops at the scope boundary. The
+          // source's accuracy/sum still update from in-scope prob changes —
+          // only the re-enrollment of foreign items is cut.
+          if (scope != nullptr && !scope->Contains(i)) return;
           ws.item_touch_tick_[i] = ws.ticket_;
           ws.touched_items_.push_back(i);
           ws.frontier_.push_back(i);
@@ -592,11 +614,9 @@ FusionResult DeltaFusionEngine::FuseWithPins(const FusionResult& base,
   return out;
 }
 
-double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
-                                               Workspace& ws,
-                                               const PriorSet& priors,
-                                               ItemId item, ClaimIndex claim,
-                                               DeltaFusionStats* stats) const {
+double DeltaFusionEngine::EntropyAfterExactPin(
+    const BaseState& base, Workspace& ws, const PriorSet& priors, ItemId item,
+    ClaimIndex claim, DeltaFusionStats* stats, const ItemScope* scope) const {
   // The MEU inner loop: instrumentation here is a single relaxed atomic add
   // (no span, no histogram) so thousands of lookahead pins per select stay
   // cheap with metrics always on.
@@ -636,7 +656,7 @@ double DeltaFusionEngine::EntropyAfterExactPin(const BaseState& base,
   bool conv = false;
   std::size_t iters = 0;
   Propagate(ws, priors, item, /*enforce_coverage=*/false, &conv, &iters,
-            stats);
+            stats, scope);
 
   double total = base.total_entropy;
   for (ItemId i : ws.touched_items_) {

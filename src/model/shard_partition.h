@@ -1,0 +1,66 @@
+// ShardPartition: a deterministic, item-disjoint partition of a
+// CompiledDatabase for the sharded candidate scan (DESIGN.md §5h). Items are
+// coupled only through shared sources — the per-source accuracy table is the
+// one piece of state a sharded scan shares — so any item partition is valid;
+// this one balances *vote mass* (the cost driver of a lookahead) across
+// shards with LPT greedy scheduling:
+//   items sorted by vote count descending (ties: ascending item id) are
+//   assigned one by one to the currently lightest shard (ties: lowest shard
+//   index).
+// Every input order, comparison and tie-break is fully determined by the
+// compiled view, so two builds over the same epoch produce identical maps —
+// the foundation of the sharded scan's determinism argument.
+//
+// Shards may be empty (fewer items than shards); callers must tolerate
+// items(s).empty().
+#ifndef VERITAS_MODEL_SHARD_PARTITION_H_
+#define VERITAS_MODEL_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/compiled_database.h"
+#include "model/types.h"
+
+namespace veritas {
+
+class ShardPartition {
+ public:
+  /// Builds the partition against the view's current epoch. `num_shards` is
+  /// clamped to at least 1.
+  ShardPartition(const CompiledDatabase& compiled, std::size_t num_shards);
+
+  std::size_t num_shards() const { return items_.size(); }
+  /// Epoch of the compiled view the map was built against. Stale maps must
+  /// be rebuilt: an appended item has no shard.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Shard owning item i (i must predate epoch()).
+  std::uint32_t shard_of(ItemId i) const { return shard_of_[i]; }
+  /// Raw map, indexed by ItemId — the propagation-scope filter for the
+  /// delta engine (fusion/delta_fusion.h ItemScope).
+  const std::vector<std::uint32_t>& shard_map() const { return shard_of_; }
+
+  /// Items owned by shard s, in ascending item-id order.
+  const std::vector<ItemId>& items(std::size_t s) const { return items_[s]; }
+  /// Multi-claim items owned by shard s, ascending. The only items a
+  /// shard-confined propagation can ever re-enroll (single-claim items are
+  /// fixed), so a confined lookahead enrolls from this list instead of
+  /// scanning a heavy source's full vote list.
+  const std::vector<ItemId>& conflict_items(std::size_t s) const {
+    return conflict_items_[s];
+  }
+  /// Total votes across the items of shard s (the balance target).
+  std::size_t weight(std::size_t s) const { return weights_[s]; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint32_t> shard_of_;
+  std::vector<std::vector<ItemId>> items_;
+  std::vector<std::vector<ItemId>> conflict_items_;
+  std::vector<std::size_t> weights_;
+};
+
+}  // namespace veritas
+
+#endif  // VERITAS_MODEL_SHARD_PARTITION_H_

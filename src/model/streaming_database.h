@@ -128,6 +128,11 @@ class StreamingDatabase {
   /// Lifetime totals across all batches.
   const IngestStats& totals() const { return totals_; }
 
+  /// Compaction policy. Replacing it takes effect at the next
+  /// CompactIfNeeded; sessions apply StreamingSessionConfig::compaction here.
+  const StreamingOptions& options() const { return options_; }
+  void set_options(StreamingOptions options) { options_ = options; }
+
  private:
   ItemId InternItem(const std::string& name, IngestStats* stats);
   SourceId InternSource(const std::string& name, IngestStats* stats);

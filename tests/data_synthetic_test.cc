@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "data/dataset_stats.h"
 #include "fusion/accu.h"
 #include "core/metrics.h"
@@ -381,6 +383,103 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GenCase{true, 1}, GenCase{true, 2}, GenCase{true, 3},
                       GenCase{false, 1}, GenCase{false, 2},
                       GenCase{false, 3}));
+
+// ---------- Declarative spec front-end ----------
+
+TEST(GenerateFromSpecTest, DispatchesToDense) {
+  DatasetSpec spec;
+  spec.shape = "dense";
+  spec.num_items = 120;
+  spec.num_sources = 20;
+  spec.seed = 5;
+  spec.params["density"] = "0.4";
+  GenerationReport report;
+  const Result<SyntheticDataset> data = GenerateFromSpec(spec, &report);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->db.num_items(), 120u);
+  EXPECT_EQ(report.generator, "dense");
+  EXPECT_EQ(report.num_items, data->db.num_items());
+  EXPECT_EQ(report.num_observations, data->db.num_observations());
+
+  // The spec path must produce exactly what the native config produces.
+  DenseConfig config;
+  config.num_items = 120;
+  config.num_sources = 20;
+  config.density = 0.4;
+  config.seed = 5;
+  const SyntheticDataset direct = GenerateDense(config);
+  EXPECT_EQ(data->db.num_observations(), direct.db.num_observations());
+}
+
+TEST(GenerateFromSpecTest, RejectsUnknownShapeAndParams) {
+  DatasetSpec spec;
+  spec.shape = "mystery";
+  EXPECT_FALSE(GenerateFromSpec(spec).ok());
+
+  spec.shape = "dense";
+  spec.params["densty"] = "0.4";  // Typo must not silently default.
+  EXPECT_FALSE(GenerateFromSpec(spec).ok());
+
+  spec.params.clear();
+  spec.params["density"] = "not-a-number";
+  EXPECT_FALSE(GenerateFromSpec(spec).ok());
+
+  spec.params.clear();
+  spec.shape = "scaled_longtail";
+  spec.params["max_hot_logit"] = "-1";  // Out of domain.
+  EXPECT_FALSE(GenerateFromSpec(spec).ok());
+}
+
+TEST(GenerateFromSpecTest, ScaledLongTailShape) {
+  DatasetSpec spec;
+  spec.shape = "scaled_longtail";
+  spec.name = "scale-test";
+  spec.num_items = 20000;
+  spec.num_sources = 4096;
+  spec.seed = 9;
+  spec.params["hot_items"] = "64";
+  spec.params["head_sources"] = "8";
+  GenerationReport report;
+  const Result<SyntheticDataset> data = GenerateFromSpec(spec, &report);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(report.generator, "scaled_longtail");
+  EXPECT_EQ(report.dataset_name, "scale-test");
+  EXPECT_EQ(report.num_items, 20000u);
+  EXPECT_EQ(report.head_sources, 8u);
+  // Exactly the hot items are contested; the whole tail is single-claim.
+  EXPECT_EQ(report.contested_items, 64u);
+  std::size_t contested = 0;
+  for (ItemId i = 0; i < data->db.num_items(); ++i) {
+    if (data->db.num_claims(i) > 1) ++contested;
+  }
+  EXPECT_EQ(contested, 64u);
+  // Heads jointly cover every item.
+  std::vector<bool> covered(data->db.num_items(), false);
+  for (SourceId j = 0; j < 8; ++j) {
+    for (const Vote& vote : data->db.source(j).votes) {
+      covered[vote.item] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool c) { return c; }));
+}
+
+TEST(GenerateFromSpecTest, SameSeedSameData) {
+  DatasetSpec spec;
+  spec.shape = "scaled_longtail";
+  spec.num_items = 5000;
+  spec.num_sources = 4096;
+  spec.seed = 17;
+  const Result<SyntheticDataset> a = GenerateFromSpec(spec);
+  const Result<SyntheticDataset> b = GenerateFromSpec(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->db.num_observations(), b->db.num_observations());
+  ASSERT_EQ(a->db.num_items(), b->db.num_items());
+  for (ItemId i = 0; i < a->db.num_items(); ++i) {
+    ASSERT_EQ(a->db.num_claims(i), b->db.num_claims(i)) << "item " << i;
+  }
+}
 
 }  // namespace
 }  // namespace veritas

@@ -1,0 +1,242 @@
+// Tests of the sharded two-stage candidate scan (fusion/sharded_scan.h,
+// DESIGN.md §5h): the coordinator merge, the shards=1 bypass, sharded vs.
+// unsharded selection equality across fusion models, the empty-shard edge
+// case, and thread-count invariance of the sharded scan (this file is part
+// of the concurrency suite, so the latter also runs under TSan).
+#include "fusion/sharded_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/meu.h"
+#include "core/strategy.h"
+#include "data/synthetic.h"
+#include "fusion/accu.h"
+#include "fusion/fusion_factory.h"
+#include "fusion/priors.h"
+#include "model/compiled_database.h"
+#include "model/database_builder.h"
+
+namespace veritas {
+namespace {
+
+// ---------- Coordinator merge ----------
+
+// A hand-built database whose partition is easy to reason about: the merge
+// tests only need the shard map, not realistic fusion state.
+struct MergeFixture {
+  MergeFixture() {
+    DatabaseBuilder builder;
+    // 8 contested items, 2 claims each; per-item vote counts descend with
+    // the item id so LPT assignment is exercised.
+    for (int i = 0; i < 8; ++i) {
+      const std::string item = "i" + std::to_string(i);
+      for (int v = 0; v < 9 - i; ++v) {
+        EXPECT_TRUE(
+            builder.AddObservation("s" + std::to_string(v), item, "a").ok());
+      }
+      EXPECT_TRUE(builder.AddObservation("sx", item, "b").ok());
+    }
+    db = builder.Build();
+    compiled = std::make_unique<CompiledDatabase>(db);
+  }
+  Database db;
+  std::unique_ptr<CompiledDatabase> compiled;
+};
+
+TEST(MergeTopCandidatesTest, KeepsPerShardTopQuotaInAscendingIdOrder) {
+  const MergeFixture fx;
+  const ShardPartition partition(*fx.compiled, 2);
+  std::vector<ItemId> candidates;
+  std::vector<double> estimates;
+  for (ItemId i = 0; i < fx.db.num_items(); ++i) {
+    candidates.push_back(i);
+    estimates.push_back(static_cast<double>(i));  // Higher id = better.
+  }
+  const std::vector<ItemId> pool =
+      MergeTopCandidatesPerShard(candidates, estimates, partition, 2);
+  // Two shards, quota 2 each: the two highest-estimate items of each shard.
+  ASSERT_EQ(pool.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(pool.begin(), pool.end()));
+  std::vector<std::vector<ItemId>> kept(partition.num_shards());
+  for (const ItemId i : pool) kept[partition.shard_of(i)].push_back(i);
+  for (std::size_t s = 0; s < partition.num_shards(); ++s) {
+    ASSERT_EQ(kept[s].size(), 2u) << "shard " << s;
+    // Estimates ascend with the id here, so each shard keeps its two
+    // highest-id items.
+    const std::vector<ItemId>& owned = partition.items(s);
+    EXPECT_EQ(kept[s][0], owned[owned.size() - 2]);
+    EXPECT_EQ(kept[s][1], owned[owned.size() - 1]);
+  }
+}
+
+TEST(MergeTopCandidatesTest, TiesBreakTowardLowerItemId) {
+  const MergeFixture fx;
+  const ShardPartition partition(*fx.compiled, 1);
+  const std::vector<ItemId> candidates = {0, 1, 2, 3};
+  const std::vector<double> estimates = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<ItemId> pool =
+      MergeTopCandidatesPerShard(candidates, estimates, partition, 2);
+  EXPECT_EQ(pool, (std::vector<ItemId>{0, 1}));
+}
+
+TEST(MergeTopCandidatesTest, QuotaLargerThanShardKeepsEverything) {
+  const MergeFixture fx;
+  const ShardPartition partition(*fx.compiled, 4);
+  std::vector<ItemId> candidates;
+  std::vector<double> estimates;
+  for (ItemId i = 0; i < fx.db.num_items(); ++i) {
+    candidates.push_back(i);
+    estimates.push_back(0.5);
+  }
+  const std::vector<ItemId> pool =
+      MergeTopCandidatesPerShard(candidates, estimates, partition, 100);
+  EXPECT_EQ(pool, candidates);
+}
+
+TEST(MergeTopCandidatesTest, CandidateSubsetOnly) {
+  // Items missing from `candidates` (validated, singleton, …) never surface
+  // in the pool, whatever their shard.
+  const MergeFixture fx;
+  const ShardPartition partition(*fx.compiled, 2);
+  const std::vector<ItemId> candidates = {1, 4, 6};
+  const std::vector<double> estimates = {3.0, 2.0, 1.0};
+  const std::vector<ItemId> pool =
+      MergeTopCandidatesPerShard(candidates, estimates, partition, 8);
+  EXPECT_EQ(pool, candidates);
+}
+
+// ---------- End-to-end selection equality ----------
+
+struct ShardCase {
+  std::string model;
+};
+
+class ShardedSelectionTest : public ::testing::TestWithParam<ShardCase> {};
+
+// The sharded scan must select exactly what the classic scan selects —
+// the bench enforces this at the million-item scale; here it runs on every
+// delta-capable model at test size.
+TEST_P(ShardedSelectionTest, ShardedMatchesUnsharded) {
+  LongTailConfig config;
+  config.num_items = 400;
+  config.num_sources = 150;
+  config.avg_votes_per_item = 8.0;
+  config.seed = 11;
+  const SyntheticDataset data = GenerateLongTail(config);
+  auto model = MakeFusionModel(GetParam().model);
+  ASSERT_TRUE(model.ok());
+  FusionOptions opts;
+  const FusionResult base = (*model)->Fuse(data.db, PriorSet(), opts);
+  const auto engine = DeltaFusionEngine::Create(data.db, **model, opts);
+  ASSERT_NE(engine, nullptr);
+
+  const PriorSet priors;
+  StrategyContext ctx;
+  ctx.db = &data.db;
+  ctx.fusion = &base;
+  ctx.priors = &priors;
+  ctx.model = model->get();
+  ctx.ground_truth = &data.truth;
+  ctx.delta = engine.get();
+
+  FusionOptions unsharded = opts;
+  unsharded.shards = 1;
+  ctx.fusion_opts = &unsharded;
+  MeuStrategy flat_meu(/*num_threads=*/1);
+  const std::vector<ItemId> flat = flat_meu.SelectBatch(ctx, 3);
+  ASSERT_FALSE(flat.empty());
+
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    FusionOptions sharded = opts;
+    sharded.shards = shards;
+    ctx.fusion_opts = &sharded;
+    MeuStrategy meu(/*num_threads=*/1);
+    EXPECT_EQ(meu.SelectBatch(ctx, 3), flat) << "shards=" << shards;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ShardedSelectionTest,
+                         ::testing::Values(ShardCase{"accu"},
+                                           ShardCase{"voting"},
+                                           ShardCase{"truthfinder"}),
+                         [](const auto& info) { return info.param.model; });
+
+TEST(ShardedSelectionTest, MoreShardsThanItems) {
+  // Every populated shard holds one item; the rest are empty and must be
+  // skipped cleanly by both the confined scan and the merge.
+  DatabaseBuilder builder;
+  for (int i = 0; i < 3; ++i) {
+    const std::string item = "i" + std::to_string(i);
+    ASSERT_TRUE(builder.AddObservation("s0", item, "a").ok());
+    ASSERT_TRUE(builder.AddObservation("s1", item, "a").ok());
+    ASSERT_TRUE(builder.AddObservation("s2", item, "b").ok());
+  }
+  const Database db = builder.Build();
+  AccuFusion model;
+  FusionOptions opts;
+  const FusionResult base = model.Fuse(db, PriorSet(), opts);
+  const auto engine = DeltaFusionEngine::Create(db, model, opts);
+  ASSERT_NE(engine, nullptr);
+
+  const PriorSet priors;
+  StrategyContext ctx;
+  ctx.db = &db;
+  ctx.fusion = &base;
+  ctx.priors = &priors;
+  ctx.model = &model;
+  ctx.delta = engine.get();
+
+  FusionOptions unsharded = opts;
+  unsharded.shards = 1;
+  ctx.fusion_opts = &unsharded;
+  MeuStrategy flat_meu;
+  const std::vector<ItemId> flat = flat_meu.SelectBatch(ctx, 2);
+
+  FusionOptions sharded = opts;
+  sharded.shards = 16;
+  ctx.fusion_opts = &sharded;
+  MeuStrategy meu;
+  EXPECT_EQ(meu.SelectBatch(ctx, 2), flat);
+}
+
+// ---------- Thread-count invariance (TSan target) ----------
+
+TEST(ShardedSelectionTest, ThreadCountDoesNotChangeShardedSelections) {
+  LongTailConfig config;
+  config.num_items = 300;
+  config.num_sources = 120;
+  config.avg_votes_per_item = 8.0;
+  config.seed = 23;
+  const SyntheticDataset data = GenerateLongTail(config);
+  AccuFusion model;
+  FusionOptions opts;
+  opts.shards = 4;
+  const FusionResult base = model.Fuse(data.db, PriorSet(), opts);
+  const auto engine = DeltaFusionEngine::Create(data.db, model, opts);
+  ASSERT_NE(engine, nullptr);
+
+  const PriorSet priors;
+  StrategyContext ctx;
+  ctx.db = &data.db;
+  ctx.fusion = &base;
+  ctx.priors = &priors;
+  ctx.model = &model;
+  ctx.ground_truth = &data.truth;
+  ctx.delta = engine.get();
+  ctx.fusion_opts = &opts;
+
+  MeuStrategy serial(/*num_threads=*/1);
+  const std::vector<ItemId> expected = serial.SelectBatch(ctx, 3);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    MeuStrategy meu(threads);
+    EXPECT_EQ(meu.SelectBatch(ctx, 3), expected) << "threads=" << threads;
+    // A second round reuses the seed ranking and the cached shard plan.
+    EXPECT_EQ(meu.SelectBatch(ctx, 3), expected) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace veritas

@@ -1,0 +1,126 @@
+// Tests of the deterministic item partition behind the sharded candidate
+// scan (model/shard_partition.h, DESIGN.md §5h).
+#include "model/shard_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "model/compiled_database.h"
+#include "model/database_builder.h"
+
+namespace veritas {
+namespace {
+
+SyntheticDataset MakeLongTail() {
+  LongTailConfig config;
+  config.num_items = 300;
+  config.num_sources = 120;
+  config.avg_votes_per_item = 6.0;
+  config.seed = 7;
+  return GenerateLongTail(config);
+}
+
+TEST(ShardPartitionTest, EveryItemInExactlyOneShard) {
+  const SyntheticDataset data = MakeLongTail();
+  const CompiledDatabase compiled(data.db);
+  const ShardPartition partition(compiled, 4);
+  ASSERT_EQ(partition.num_shards(), 4u);
+
+  std::vector<int> seen(compiled.num_items(), 0);
+  for (std::size_t s = 0; s < partition.num_shards(); ++s) {
+    for (const ItemId i : partition.items(s)) {
+      ASSERT_LT(i, compiled.num_items());
+      EXPECT_EQ(partition.shard_of(i), s);
+      ++seen[i];
+    }
+    // Ascending item-id order within a shard.
+    EXPECT_TRUE(std::is_sorted(partition.items(s).begin(),
+                               partition.items(s).end()));
+  }
+  for (ItemId i = 0; i < compiled.num_items(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "item " << i;
+  }
+}
+
+TEST(ShardPartitionTest, RebuildIsBitIdentical) {
+  const SyntheticDataset data = MakeLongTail();
+  const CompiledDatabase compiled(data.db);
+  const ShardPartition a(compiled, 8);
+  const ShardPartition b(compiled, 8);
+  EXPECT_EQ(a.shard_map(), b.shard_map());
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  for (std::size_t s = 0; s < a.num_shards(); ++s) {
+    EXPECT_EQ(a.items(s), b.items(s));
+    EXPECT_EQ(a.conflict_items(s), b.conflict_items(s));
+    EXPECT_EQ(a.weight(s), b.weight(s));
+  }
+  // A fresh compile of the same database yields the same map too: the
+  // partition is a pure function of the compiled view's content.
+  const CompiledDatabase recompiled(data.db);
+  const ShardPartition c(recompiled, 8);
+  EXPECT_EQ(a.shard_map(), c.shard_map());
+}
+
+TEST(ShardPartitionTest, ConflictItemsAreExactlyTheMultiClaimItems) {
+  const SyntheticDataset data = MakeLongTail();
+  const CompiledDatabase compiled(data.db);
+  const ShardPartition partition(compiled, 3);
+  for (std::size_t s = 0; s < partition.num_shards(); ++s) {
+    std::vector<ItemId> expected;
+    for (const ItemId i : partition.items(s)) {
+      if (compiled.item_num_claims(i) > 1) expected.push_back(i);
+    }
+    EXPECT_EQ(partition.conflict_items(s), expected) << "shard " << s;
+  }
+}
+
+TEST(ShardPartitionTest, WeightsSumVoteMass) {
+  const SyntheticDataset data = MakeLongTail();
+  const CompiledDatabase compiled(data.db);
+  const ShardPartition partition(compiled, 5);
+  for (std::size_t s = 0; s < partition.num_shards(); ++s) {
+    std::size_t votes = 0;
+    for (const ItemId i : partition.items(s)) {
+      votes += compiled.item_votes_end(i) - compiled.item_votes_begin(i);
+    }
+    EXPECT_EQ(partition.weight(s), votes) << "shard " << s;
+  }
+}
+
+TEST(ShardPartitionTest, MoreShardsThanItemsLeavesEmptyShards) {
+  DatabaseBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("s0", "i0", "a").ok());
+  ASSERT_TRUE(builder.AddObservation("s1", "i0", "b").ok());
+  ASSERT_TRUE(builder.AddObservation("s0", "i1", "c").ok());
+  const Database db = builder.Build();
+  const CompiledDatabase compiled(db);
+  const ShardPartition partition(compiled, 6);
+  ASSERT_EQ(partition.num_shards(), 6u);
+  std::size_t assigned = 0;
+  std::size_t empty = 0;
+  for (std::size_t s = 0; s < partition.num_shards(); ++s) {
+    assigned += partition.items(s).size();
+    if (partition.items(s).empty()) {
+      ++empty;
+      EXPECT_TRUE(partition.conflict_items(s).empty());
+      EXPECT_EQ(partition.weight(s), 0u);
+    }
+  }
+  EXPECT_EQ(assigned, compiled.num_items());
+  EXPECT_GE(empty, 4u);
+}
+
+TEST(ShardPartitionTest, ShardCountClampedToOne) {
+  const SyntheticDataset data = MakeLongTail();
+  const CompiledDatabase compiled(data.db);
+  const ShardPartition partition(compiled, 0);
+  ASSERT_EQ(partition.num_shards(), 1u);
+  EXPECT_EQ(partition.items(0).size(), compiled.num_items());
+  EXPECT_EQ(partition.epoch(), compiled.epoch());
+}
+
+}  // namespace
+}  // namespace veritas

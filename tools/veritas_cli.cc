@@ -65,6 +65,7 @@ void PrintUsage() {
       "               [--strategy approx_meu] [--budget 20]\n"
       "               [--oracle perfect] [--batch 1] [--seed 42]\n"
       "               [--model accu] [--threads 1] [--no-delta]\n"
+      "               [--shards 1]\n"
       "               [--flaky <p|plan>] [--retries 3]\n"
       "               [--checkpoint ckpt] [--checkpoint-every 1]\n"
       "               [--resume ckpt] [--deadline-ms N]\n"
@@ -271,6 +272,13 @@ Status RunSession(const ArgMap& args) {
   // full path; with the flag absent, models with local-update structure use
   // the incremental DeltaFusionEngine.
   options.fusion.use_delta_fusion = !args.GetBool("no-delta");
+  // --shards > 1 routes the MEU-family candidate scans through the
+  // two-stage sharded protocol (DESIGN.md §5h); 1 is the classic flat scan.
+  VERITAS_ASSIGN_OR_RETURN(long shards, args.GetInt("shards", 1));
+  if (shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  options.fusion.shards = static_cast<std::size_t>(shards);
   options.max_validations = static_cast<std::size_t>(budget);
   options.batch_size = static_cast<std::size_t>(batch);
   options.checkpoint_path = args.GetString("checkpoint");

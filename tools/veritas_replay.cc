@@ -19,13 +19,12 @@
 //                  [--budget 20] [--batch 1] [--strategy approx_meu]
 //                  [--oracle perfect] [--model accu] [--no-delta]
 //                  [--deadline-ms N]
+//                  [--compact-tail-fraction 0.25] [--compact-min-tail 256]
 //                  [--json BENCH_fusion.json]   merge a replay_ingest record
 //                  [--metrics-out metrics.json]
 #include <algorithm>
 #include <csignal>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <utility>
 
@@ -40,7 +39,6 @@
 #include "obs/metrics.h"
 #include "util/args.h"
 #include "util/cancellation.h"
-#include "util/durable_file.h"
 #include "util/timer.h"
 
 namespace veritas {
@@ -49,61 +47,6 @@ namespace {
 CancellationToken g_cancel;
 
 extern "C" void HandleStopSignal(int /*signum*/) { g_cancel.RequestStop(); }
-
-/// Merges one record into an existing bench-JSON document. The writer in
-/// exp/bench_json only ever emits whole documents, so this splices at the
-/// text level: drop any previous record with the same name (reruns replace,
-/// not accumulate), then insert the new record line before the closing
-/// bracket. A missing or unrecognized file is rewritten fresh.
-Status MergeBenchRecord(const std::string& path, const std::string& schema,
-                        const std::string& record_name,
-                        const std::string& record_line) {
-  std::ifstream in(path);
-  std::string doc;
-  if (in) {
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    doc = buf.str();
-  }
-  const std::string closing = "\n  ]\n}";
-  const std::size_t close_pos = doc.rfind(closing);
-  if (doc.empty() || close_pos == std::string::npos) {
-    BenchJsonFile fresh(schema);
-    // Re-render through the writer so a fresh file and a merged file agree.
-    std::string body = fresh.Render();
-    const std::size_t records_pos = body.rfind("\n  ]\n}\n");
-    if (records_pos == std::string::npos) {
-      return Status::Internal("bench json renderer changed shape");
-    }
-    body.insert(records_pos, "\n    " + record_line);
-    return AtomicWriteFile(path, body);
-  }
-  // Drop stale records with this name, line by line.
-  const std::string marker = "{\"name\": \"" + record_name + "\"";
-  std::istringstream lines(doc.substr(0, close_pos));
-  std::ostringstream kept;
-  std::string line;
-  bool first = true;
-  bool any_record = false;
-  while (std::getline(lines, line)) {
-    if (line.find(marker) != std::string::npos) continue;
-    if (!first) kept << "\n";
-    first = false;
-    // A dropped record may leave the new last record with a trailing comma;
-    // normalize commas below instead of tracking them here.
-    kept << line;
-    if (line.find("{\"name\": ") != std::string::npos) any_record = true;
-  }
-  std::string head = kept.str();
-  // Ensure the previous record line ends with a comma before appending.
-  const std::size_t last_brace = head.find_last_not_of(" \n");
-  if (any_record && last_brace != std::string::npos &&
-      head[last_brace] == '}') {
-    head.insert(last_brace + 1, ",");
-  }
-  std::string out = head + "\n    " + record_line + closing + "\n";
-  return AtomicWriteFile(path, out);
-}
 
 Status RunReplay(const ArgMap& args) {
   VERITAS_ASSIGN_OR_RETURN(long items, args.GetInt("items", 300));
@@ -119,6 +62,25 @@ Status RunReplay(const ArgMap& args) {
   if (batch_obs < 1) {
     return Status::InvalidArgument("--batch-obs must be >= 1");
   }
+
+  // Compaction policy: defaults match StreamingOptions, overridable so a
+  // sweep can force frequent (or suppress) tail folds.
+  StreamingOptions stream_opts;
+  VERITAS_ASSIGN_OR_RETURN(
+      stream_opts.compact_tail_fraction,
+      args.GetDouble("compact-tail-fraction",
+                     stream_opts.compact_tail_fraction));
+  VERITAS_ASSIGN_OR_RETURN(
+      long min_tail,
+      args.GetInt("compact-min-tail",
+                  static_cast<long>(stream_opts.min_tail_before_compact)));
+  if (stream_opts.compact_tail_fraction <= 0.0 ||
+      stream_opts.compact_tail_fraction > 1.0 || min_tail < 0) {
+    return Status::InvalidArgument(
+        "--compact-tail-fraction must be in (0, 1] and --compact-min-tail "
+        ">= 0");
+  }
+  stream_opts.min_tail_before_compact = static_cast<std::size_t>(min_tail);
 
   SyntheticDataset data;
   if (shape == "dense") {
@@ -154,7 +116,7 @@ Status RunReplay(const ArgMap& args) {
 
   // The session starts against an *empty* database; everything arrives
   // through the feed.
-  StreamingDatabase stream{Database()};
+  StreamingDatabase stream{Database(), stream_opts};
   GroundTruth truth(stream.db());
   VectorFeed feed(std::move(data.stream), std::move(data.truth_stream),
                   static_cast<std::size_t>(batch_obs));
@@ -173,6 +135,7 @@ Status RunReplay(const ArgMap& args) {
   options.streaming.stream = &stream;
   options.streaming.feed = &feed;
   options.streaming.truth = &truth;
+  options.streaming.compaction = stream_opts;
   // The perfect oracle hard-fails on unknown truth; with the filter on, an
   // item whose truth row has not streamed in yet simply waits its turn.
   options.streaming.require_known_truth = true;
@@ -266,8 +229,6 @@ Status RunReplay(const ArgMap& args) {
 
   const std::string json_out = args.GetString("json");
   if (!json_out.empty()) {
-    // Render the record through the bench writer, then splice it into the
-    // existing document (see MergeBenchRecord).
     BenchJsonFile doc("veritas-bench-fusion-v1");
     BenchJsonRecord& rec = doc.Add("replay_ingest");
     rec.Set("shape", shape)
@@ -287,17 +248,9 @@ Status RunReplay(const ArgMap& args) {
         .Set("staleness_p99_seconds", stale_p99)
         .Set("staleness_max_seconds", stale_max)
         .Set("stale_view_violations", stale_violations);
-    const std::string rendered = doc.Render();
-    // The record is the single "    {...}" line of the fresh document.
-    const std::size_t begin = rendered.find("    {\"name\"");
-    const std::size_t end = rendered.find("}\n  ]", begin);
-    if (begin == std::string::npos || end == std::string::npos) {
-      return Status::Internal("bench json renderer changed shape");
-    }
-    const std::string record_line =
-        rendered.substr(begin + 4, end + 1 - (begin + 4));
-    VERITAS_RETURN_IF_ERROR(MergeBenchRecord(
-        json_out, "veritas-bench-fusion-v1", "replay_ingest", record_line));
+    // Upsert by name only: reruns replace the previous replay_ingest record,
+    // every other bench binary's records survive untouched.
+    VERITAS_RETURN_IF_ERROR(doc.MergeInto(json_out));
     std::cout << "merged replay_ingest record into " << json_out << "\n";
   }
   return Status::OK();
