@@ -125,7 +125,8 @@ double ApproxMeuStrategy::ExpectedEntropyAfterValidation(
 
 std::vector<double> ApproxMeuStrategy::ScoreCandidates(
     const StrategyContext& ctx, const std::vector<ItemId>& candidates,
-    const std::vector<bool>* impact_filter, ThreadPool* pool) {
+    const std::vector<bool>* impact_filter, ThreadPool* pool,
+    const ShardPartition* confine) {
   assert(ctx.graph != nullptr && "ApproxMeu requires ctx.graph");
   VERITAS_SPAN("strategy.approx_meu.score");
   static Counter* lookaheads =
@@ -155,6 +156,8 @@ std::vector<double> ApproxMeuStrategy::ScoreCandidates(
       // for TopKByScore (the session discards the round anyway).
       if (HardStopRequested(ctx.cancel)) return;
       const ItemId i = candidates[idx];
+      const std::uint32_t home_shard =
+          confine != nullptr ? confine->shard_of(i) : 0;
       ctx.graph->CollectNeighbors(i, &neighbors);
       double expected = 0.0;
       for (ClaimIndex t = 0; t < db.num_claims(i); ++t) {
@@ -165,6 +168,9 @@ std::vector<double> ApproxMeuStrategy::ScoreCandidates(
         for (ItemId j : neighbors) {
           if (ctx.priors->Has(j)) continue;
           if (impact_filter != nullptr && !(*impact_filter)[j]) continue;
+          if (confine != nullptr && confine->shard_of(j) != home_shard) {
+            continue;  // Stage-1 confinement: impact never leaves i's shard.
+          }
           if (db.num_claims(j) <= 1) continue;
           const std::vector<double> updated =
               EstimateUpdatedProbs(db, fusion, j, deltas);
@@ -213,31 +219,18 @@ std::vector<ItemId> ApproxMeuStrategy::SelectBatchSharded(
   const ShardPartition& partition = shard_plan_.partition();
   const std::size_t quota = ShardedScanPlan::MergeQuota(batch);
 
-  // Stage 1: per-shard scans. The existing Approx-MEU_k impact_filter
-  // mechanism is the confinement: each shard's candidates only count the
-  // entropy impact on neighbours inside the same shard, so a head source's
-  // cross-shard fan-out is never walked during the estimate pass.
-  std::vector<std::vector<std::size_t>> by_shard(partition.num_shards());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    by_shard[partition.shard_of(candidates[i])].push_back(i);
-  }
-  std::vector<double> estimates(candidates.size(), 0.0);
-  std::vector<bool> in_shard(ctx.db->num_items(), false);
-  std::vector<ItemId> shard_candidates;
-  for (std::size_t s = 0; s < by_shard.size(); ++s) {
-    const std::vector<std::size_t>& bucket = by_shard[s];
-    if (bucket.empty()) continue;  // Fewer hot items than shards is fine.
-    for (ItemId i = 0; i < ctx.db->num_items(); ++i) {
-      in_shard[i] = partition.shard_of(i) == s;
-    }
-    shard_candidates.clear();
-    for (std::size_t idx : bucket) shard_candidates.push_back(candidates[idx]);
-    const std::vector<double> scored =
-        ScoreCandidates(ctx, shard_candidates, &in_shard, pool_.get());
-    for (std::size_t r = 0; r < bucket.size(); ++r) {
-      estimates[bucket[r]] = scored[r];
-    }
-  }
+  // Stage 1: one pooled scan over ALL candidates with the partition as the
+  // confinement predicate — each candidate's entropy impact only counts
+  // neighbours in its own shard, so a head source's cross-shard fan-out is
+  // never walked during the estimate pass. Confinement is a pure function
+  // of (partition, i, j) and gains land in disjoint slots, so candidates of
+  // different shards score concurrently on the pool's lanes and the result
+  // is identical for any shard x thread combination (asserted by
+  // fusion_sharded_scan_test). This replaces a serial per-shard loop that
+  // rebuilt an O(num_items) membership bitmap per shard.
+  const std::vector<double> estimates =
+      ScoreCandidates(ctx, candidates, /*impact_filter=*/nullptr, pool_.get(),
+                      &partition);
 
   // Coordinator merge, then stage 2: unfiltered exact re-score of the pool.
   const std::vector<ItemId> pool =

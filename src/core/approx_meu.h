@@ -84,10 +84,15 @@ class ApproxMeuStrategy : public Strategy {
   /// Scores Delta-EU (Eq. 13 gain) for each candidate; shared with the
   /// hybrid strategy. With a non-null `pool` (and enough candidates), the
   /// scan fans out over its lanes; gains land in disjoint slots so the
-  /// result is lane-count independent.
+  /// result is lane-count independent. A non-null `confine` restricts each
+  /// candidate's neighbour impact to the candidate's own shard of the
+  /// partition — the sharded stage-1 semantics — which lets one pooled pass
+  /// score candidates of *different* shards concurrently (confinement is a
+  /// pure per-(i, j) predicate, so no cross-shard state is shared).
   static std::vector<double> ScoreCandidates(
       const StrategyContext& ctx, const std::vector<ItemId>& candidates,
-      const std::vector<bool>* impact_filter, ThreadPool* pool = nullptr);
+      const std::vector<bool>* impact_filter, ThreadPool* pool = nullptr,
+      const ShardPartition* confine = nullptr);
 
  private:
   /// The sharded two-stage selection behind FusionOptions::shards > 1

@@ -125,6 +125,11 @@ Result<SessionTrace> FeedbackSession::Run() {
   static Counter* fallback_counter =
       reg.GetCounter("session.fusion_fallback_rounds");
   static Histogram* step_hist = reg.GetHistogram("session.step_seconds");
+  // Per-tenant round timings (not static: the label differs per session).
+  Histogram* tenant_step_hist =
+      options_.metrics_label.empty()
+          ? nullptr
+          : reg.GetHistogram("session.step_seconds." + options_.metrics_label);
   static Histogram* select_hist = reg.GetHistogram("session.select_seconds");
   static Histogram* oracle_hist = reg.GetHistogram("session.oracle_seconds");
   static Histogram* fuse_hist = reg.GetHistogram("session.fuse_seconds");
@@ -577,6 +582,9 @@ Result<SessionTrace> FeedbackSession::Run() {
       metrics_hist->Observe(metrics_timer.ElapsedSeconds());
     }
     step_hist->Observe(round_timer.ElapsedSeconds());
+    if (tenant_step_hist != nullptr) {
+      tenant_step_hist->Observe(round_timer.ElapsedSeconds());
+    }
     trace.steps.push_back(std::move(step));
     checkpoint_dirty = true;
     VERITAS_RETURN_IF_ERROR(maybe_checkpoint(/*force=*/false));

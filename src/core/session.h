@@ -110,6 +110,11 @@ struct SessionOptions {
   /// Status::ResourceExhausted (the supervisor's eviction signal; resuming
   /// from the checkpoint continues bit-exactly).
   ResourceBudget budget;
+  /// Per-tenant observability: when non-empty (the supervisor sets the
+  /// session id), round timings are additionally recorded under
+  /// "session.step_seconds.<label>" so one slow tenant is attributable in a
+  /// shared-process metrics snapshot. "" keeps only the aggregate series.
+  std::string metrics_label;
 };
 
 /// Metrics after one validation round.

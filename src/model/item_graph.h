@@ -22,7 +22,9 @@ class ItemGraph {
   explicit ItemGraph(const Database& db);
 
   /// Fills `out` with the distinct items (excluding `item` itself) that share
-  /// at least one source with `item`. Order is unspecified.
+  /// at least one source with `item`. Order is unspecified. Thread-safe: the
+  /// dedup scratch is thread-local, so concurrent lookahead lanes may query
+  /// one shared graph without synchronizing.
   void CollectNeighbors(ItemId item, std::vector<ItemId>* out) const;
 
   /// Number of one-hop neighbours of `item`.
@@ -42,10 +44,6 @@ class ItemGraph {
 
  private:
   const Database& db_;
-  // Scratch visit stamps, one per item, to deduplicate neighbours without
-  // clearing an array per query. Mutable: queries are logically const.
-  mutable std::vector<std::uint32_t> stamp_;
-  mutable std::uint32_t current_stamp_ = 0;
 };
 
 }  // namespace veritas

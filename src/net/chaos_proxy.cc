@@ -1,0 +1,219 @@
+#include "net/chaos_proxy.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace veritas {
+namespace net {
+
+namespace {
+
+struct ChaosCounters {
+  Counter* connections;
+  Counter* forwarded_bytes;
+  Counter* drop;
+  Counter* delay;
+  Counter* corrupt;
+  Counter* truncate;
+  Counter* half_close;
+};
+
+ChaosCounters& Counters() {
+  static ChaosCounters counters = [] {
+    auto& reg = MetricsRegistry::Global();
+    ChaosCounters c;
+    c.connections = reg.GetCounter("chaos.connections");
+    c.forwarded_bytes = reg.GetCounter("chaos.forwarded_bytes");
+    c.drop = reg.GetCounter("chaos.drop");
+    c.delay = reg.GetCounter("chaos.delay");
+    c.corrupt = reg.GetCounter("chaos.corrupt");
+    c.truncate = reg.GetCounter("chaos.truncate");
+    c.half_close = reg.GetCounter("chaos.half_close");
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options)) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  if (started_) return Status::FailedPrecondition("proxy already started");
+  VERITAS_ASSIGN_OR_RETURN(ListenSocket listener, Listen(options_.listen));
+  listen_fd_ = listener.fd;
+  bound_ = listener.address;
+  accept_thread_ = std::thread(&ChaosProxy::AcceptLoop, this);
+  started_ = true;
+  return Status::OK();
+}
+
+void ChaosProxy::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  const int fd = listen_fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<Pumper> pumpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pumpers.swap(pumpers_);
+  }
+  for (Pumper& pumper : pumpers) {
+    if (pumper.thread.joinable()) pumper.thread.join();
+  }
+  started_ = false;
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto fd = Accept(listen_fd_.load(std::memory_order_relaxed),
+                     Deadline::AfterMillis(options_.idle_poll_ms));
+    if (!fd.ok()) {
+      if (fd.status().code() == StatusCode::kDeadlineExceeded) continue;
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    auto upstream = Connect(options_.upstream,
+                            Deadline::AfterMillis(options_.forward_timeout_ms));
+    if (!upstream.ok()) {
+      // Upstream down: the client sees its connection die — exactly what a
+      // dead daemon looks like without a proxy.
+      CloseFd(*fd);
+      continue;
+    }
+    Counters().connections->Add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reap finished pumpers so a long drill does not accumulate threads.
+    for (auto it = pumpers_.begin(); it != pumpers_.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        if (it->thread.joinable()) it->thread.join();
+        it = pumpers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Pumper pumper;
+    pumper.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = pumper.done;
+    const int client_fd = *fd;
+    const int upstream_fd = *upstream;
+    const std::uint64_t ordinal = next_ordinal_++;
+    pumper.thread = std::thread([this, client_fd, upstream_fd, ordinal, done] {
+      Pump(client_fd, upstream_fd, ordinal);
+      done->store(true, std::memory_order_release);
+    });
+    pumpers_.push_back(std::move(pumper));
+  }
+  CloseFd(listen_fd_.exchange(-1, std::memory_order_relaxed));
+}
+
+void ChaosProxy::Pump(int client_fd, int upstream_fd, std::uint64_t ordinal) {
+  // One injector per connection, seeded from the connection ordinal: the
+  // fault schedule is a pure function of (seed, ordinal, chunk index),
+  // independent of how connections interleave across threads.
+  FaultInjector injector(options_.seed ^ (0x9e3779b97f4a7c15ull * (ordinal + 1)));
+  injector.SetPlan("drop", options_.drop);
+  injector.SetPlan("delay", options_.delay);
+  injector.SetPlan("corrupt", options_.corrupt);
+  injector.SetPlan("truncate", options_.truncate);
+  injector.SetPlan("half_close", options_.half_close);
+  ChaosCounters& counters = Counters();
+
+  std::vector<char> buffer(options_.chunk_bytes > 0 ? options_.chunk_bytes
+                                                    : 4096);
+  bool client_open = true;    // client -> upstream direction alive.
+  bool upstream_open = true;  // upstream -> client direction alive.
+  const auto kill_both = [&] {
+    client_open = false;
+    upstream_open = false;
+  };
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         (client_open || upstream_open)) {
+    struct pollfd fds[2];
+    fds[0] = {client_fd, static_cast<short>(client_open ? POLLIN : 0), 0};
+    fds[1] = {upstream_fd, static_cast<short>(upstream_open ? POLLIN : 0), 0};
+    const int rc = ::poll(fds, 2, static_cast<int>(options_.idle_poll_ms));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    for (int side = 0; side < 2; ++side) {
+      const bool from_client = side == 0;
+      bool& open = from_client ? client_open : upstream_open;
+      if (!open || (fds[side].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const int src = from_client ? client_fd : upstream_fd;
+      const int dst = from_client ? upstream_fd : client_fd;
+      const ssize_t n = ::recv(src, buffer.data(), buffer.size(), 0);
+      if (n == 0) {
+        // Clean EOF: forward the half-close and keep the other direction.
+        ::shutdown(dst, SHUT_WR);
+        open = false;
+        continue;
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        kill_both();
+        break;
+      }
+      std::size_t len = static_cast<std::size_t>(n);
+      bool kill_after_forward = false;
+      if (injector.ShouldFail("drop")) {
+        counters.drop->Add(1);
+        kill_both();
+        break;
+      }
+      if (injector.ShouldFail("truncate")) {
+        counters.truncate->Add(1);
+        len /= 2;  // Forward a prefix, then die mid-frame.
+        kill_after_forward = true;
+      }
+      if (injector.ShouldFail("corrupt")) {
+        counters.corrupt->Add(1);
+        if (len > 0) buffer[len / 2] ^= 0x01;
+      }
+      const FaultOutcome delay = injector.Next("delay");
+      if (delay.latency_seconds > 0.0) {
+        counters.delay->Add(1);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay.latency_seconds));
+      }
+      if (len > 0 &&
+          !WriteFull(dst, buffer.data(), len,
+                     Deadline::AfterMillis(options_.forward_timeout_ms))
+               .ok()) {
+        kill_both();
+        break;
+      }
+      counters.forwarded_bytes->Add(len);
+      if (kill_after_forward) {
+        kill_both();
+        break;
+      }
+      if (injector.ShouldFail("half_close")) {
+        counters.half_close->Add(1);
+        ::shutdown(dst, SHUT_WR);
+        open = false;
+      }
+    }
+  }
+  CloseFd(client_fd);
+  CloseFd(upstream_fd);
+}
+
+}  // namespace net
+}  // namespace veritas

@@ -1,0 +1,96 @@
+// ChaosProxy: a deterministic fault-injecting TCP/Unix-socket forwarder for
+// drilling the network stack (DESIGN.md §5i). It sits between a NetClient
+// and veritas_serve and, per forwarded chunk, consults a seeded
+// util/fault_injection plan to
+//
+//   * drop    — close both directions mid-conversation,
+//   * delay   — stall the chunk for the plan's latency before forwarding,
+//   * corrupt — flip one bit (the CRC framing must catch this),
+//   * truncate— forward a prefix of the chunk, then kill the connection,
+//   * half_close — shutdown one direction, leaving the other flowing.
+//
+// Determinism: each accepted connection gets its own injector seeded
+// `seed ^ connection_ordinal`, so a drill replays the same fault schedule
+// per connection regardless of thread interleaving. (Chunk boundaries still
+// depend on kernel timing, so tests assert typed outcomes and counters, not
+// exact byte positions.)
+#ifndef VERITAS_NET_CHAOS_PROXY_H_
+#define VERITAS_NET_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/io.h"
+#include "util/fault_injection.h"
+
+namespace veritas {
+namespace net {
+
+struct ChaosProxyOptions {
+  NetAddress listen;
+  NetAddress upstream;
+  std::uint64_t seed = 42;
+  /// Per-chunk fault plans, one independent stream per site. Use a non-none
+  /// `kind` for drop/corrupt/truncate/half_close (which fault fires is what
+  /// matters, not the kind); `delay` honors the plan's latency_seconds and
+  /// works with kind=none (a pure latency spike).
+  FaultPlan drop;
+  FaultPlan delay;
+  FaultPlan corrupt;
+  FaultPlan truncate;
+  FaultPlan half_close;
+  /// Poll tick for accept/pump loops (bounds Stop() latency).
+  long idle_poll_ms = 50;
+  /// Budget for forwarding one chunk to the destination.
+  long forward_timeout_ms = 10'000;
+  std::size_t chunk_bytes = 4096;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listen address and starts accepting.
+  Status Start();
+
+  /// The listen address with any ephemeral port resolved.
+  const NetAddress& bound_address() const { return bound_; }
+
+  /// Closes the listener and every proxied connection; joins threads.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  /// Pumps both directions of one proxied connection until it dies.
+  void Pump(int client_fd, int upstream_fd, std::uint64_t ordinal);
+
+  const ChaosProxyOptions options_;
+  NetAddress bound_;
+  /// Atomic: Stop() shutdown()s it from outside while the accept thread
+  /// still owns (and eventually closes + clears) it.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::uint64_t next_ordinal_ = 0;
+
+  struct Pumper {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex mu_;
+  std::vector<Pumper> pumpers_;
+  bool started_ = false;
+};
+
+}  // namespace net
+}  // namespace veritas
+
+#endif  // VERITAS_NET_CHAOS_PROXY_H_

@@ -1,0 +1,197 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/retry.h"
+#include "util/timer.h"
+
+namespace veritas {
+namespace net {
+
+namespace {
+
+std::string GetField(const NetResponse& response, const std::string& key) {
+  const auto it = response.fields.find(key);
+  return it == response.fields.end() ? "" : it->second;
+}
+
+std::size_t GetSizeField(const NetResponse& response, const std::string& key) {
+  return static_cast<std::size_t>(
+      std::strtoull(GetField(response, key).c_str(), nullptr, 10));
+}
+
+double GetDoubleField(const NetResponse& response, const std::string& key) {
+  return std::strtod(GetField(response, key).c_str(), nullptr);
+}
+
+/// Builds the terminal result from a "state done" response.
+RemoteSessionResult ParseDoneResponse(const NetResponse& response) {
+  RemoteSessionResult result;
+  result.outcome = GetField(response, "outcome");
+  const auto code = ParseStatusCode(GetField(response, "session_code"));
+  result.session_status =
+      Status(code.ok() ? *code : StatusCode::kInternal,
+             GetField(response, "session_message"));
+  result.resumed = GetField(response, "resumed") == "1";
+  result.recovered = GetField(response, "recovered") == "1";
+  result.num_validated = GetSizeField(response, "num_validated");
+  result.rounds = GetSizeField(response, "rounds");
+  result.queue_wait_seconds = GetDoubleField(response, "queue_wait_seconds");
+  result.run_seconds = GetDoubleField(response, "run_seconds");
+  return result;
+}
+
+}  // namespace
+
+NetClient::NetClient(NetClientOptions options) : options_(std::move(options)) {}
+
+Result<NetResponse> NetClient::CallOnce(const NetRequest& request,
+                                        const Deadline& deadline) {
+  VERITAS_ASSIGN_OR_RETURN(const int fd, Connect(options_.address, deadline));
+  const std::string payload = EncodeNetRequest(request);
+  Status st = SendFrame(fd, FrameType::kRequest, payload, deadline);
+  if (!st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  auto frame = RecvFrame(fd, deadline, options_.max_payload);
+  CloseFd(fd);
+  if (!frame.ok()) return frame.status();
+  if (frame->type != FrameType::kResponse) {
+    return Status::IoError("expected a response frame, got type " +
+                           std::to_string(static_cast<int>(frame->type)));
+  }
+  VERITAS_ASSIGN_OR_RETURN(NetResponse response,
+                           DecodeNetResponse(frame->payload));
+  // An empty id marks a connection-level rejection (the shed path could not
+  // always attribute a request); anything else must echo ours.
+  if (!response.request_id.empty() &&
+      response.request_id != request.request_id) {
+    return Status::IoError("response for request \"" + response.request_id +
+                           "\" does not match sent request \"" +
+                           request.request_id + "\"");
+  }
+  return response;
+}
+
+Result<NetResponse> NetClient::Call(const NetRequest& request) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter* retries = reg.GetCounter("net.retries");
+  static Histogram* latency = reg.GetHistogram("net.client_request_seconds");
+  RetryPolicy policy;
+  policy.max_attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
+  policy.initial_backoff_seconds = options_.initial_backoff_seconds;
+  policy.backoff_multiplier = options_.backoff_multiplier;
+  policy.session_deadline = options_.overall_deadline;
+  // IoError joins the transient set: it covers a corrupt frame (reading a
+  // fresh response is safe — requests are idempotent) and mid-transfer
+  // connection damage. Reconnecting happens naturally: every attempt dials
+  // its own connection.
+  policy.retryable_codes = {StatusCode::kUnavailable,
+                            StatusCode::kDeadlineExceeded,
+                            StatusCode::kIoError};
+  RetryStats stats;
+  std::size_t attempt = 0;
+  auto result = RetryCall<NetResponse>(
+      policy,
+      [&]() -> Result<NetResponse> {
+        ++attempt;
+        if (attempt > 1 && options_.sleep_backoff) {
+          const double seconds = policy.BackoffSeconds(attempt - 1, nullptr);
+          std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+        }
+        Timer timer;
+        auto one = CallOnce(request,
+                            Deadline::AfterMillis(options_.request_timeout_ms));
+        latency->Observe(timer.ElapsedSeconds());
+        return one;
+      },
+      /*rng=*/nullptr, &stats);
+  if (stats.attempts > 1) retries->Add(stats.attempts - 1);
+  return result;
+}
+
+Result<NetResponse> NetClient::Health(const std::string& request_id) {
+  NetRequest request;
+  request.type = RequestType::kHealth;
+  request.request_id = request_id;
+  return Call(request);
+}
+
+Result<NetResponse> NetClient::Submit(const SessionSpec& spec) {
+  NetRequest request;
+  request.type = RequestType::kSubmit;
+  request.request_id = spec.id;
+  request.spec = spec;
+  return Call(request);
+}
+
+Result<NetResponse> NetClient::Report(const std::string& session_id) {
+  NetRequest request;
+  request.type = RequestType::kReport;
+  request.request_id = session_id;
+  return Call(request);
+}
+
+Result<std::string> NetClient::MetricsJson(const std::string& request_id) {
+  NetRequest request;
+  request.type = RequestType::kMetrics;
+  request.request_id = request_id;
+  VERITAS_ASSIGN_OR_RETURN(NetResponse response, Call(request));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.body);
+}
+
+Result<NetResponse> NetClient::DrainServer(const std::string& request_id) {
+  NetRequest request;
+  request.type = RequestType::kDrain;
+  request.request_id = request_id;
+  return Call(request);
+}
+
+Result<RemoteSessionResult> NetClient::RunRemoteSession(
+    const SessionSpec& spec, long poll_interval_ms) {
+  RemoteSessionResult result;
+  VERITAS_ASSIGN_OR_RETURN(NetResponse response, Submit(spec));
+  for (;;) {
+    if (!response.status.ok()) {
+      // Typed application rejection (shed, drain, validation): terminal for
+      // this session, surfaced verbatim so callers can partition outcomes.
+      return response.status;
+    }
+    const std::string state = GetField(response, "state");
+    if (state == "done") {
+      RemoteSessionResult done = ParseDoneResponse(response);
+      done.resubmits = result.resubmits;
+      return done;
+    }
+    // queued / active: poll.
+    if (options_.overall_deadline.has_deadline() &&
+        options_.overall_deadline.expired()) {
+      return Status::DeadlineExceeded("session \"" + spec.id +
+                                      "\" did not finish before the client "
+                                      "deadline");
+    }
+    if (poll_interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_interval_ms));
+    }
+    auto report = Report(spec.id);
+    if (!report.ok()) return report.status();
+    response = std::move(*report);
+    if (response.status.code() == StatusCode::kNotFound) {
+      // The daemon restarted between our submit and its report (in-memory
+      // log gone, manifest either recovered-and-finished or never written).
+      // Re-submitting the identical spec is safe: the id is the idempotency
+      // key and a re-run is bit-identical.
+      ++result.resubmits;
+      VERITAS_ASSIGN_OR_RETURN(response, Submit(spec));
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace veritas

@@ -1,0 +1,100 @@
+// NetClient: deadline-aware, retrying client for the veritas_serve protocol
+// (DESIGN.md §5i). Every Call() is one idempotent request/response round
+// trip; transport failures (connection refused, mid-frame peer death, a
+// corrupt response frame, an expired per-attempt budget) are retried with
+// exponential backoff through util/retry, reconnecting from scratch each
+// attempt so a poisoned connection can never wedge the client.
+//
+// The no-silent-loss contract the chaos drill asserts lives here: a
+// submitted session always ends in exactly one of
+//   * a terminal report (completed / evicted / cancelled / failed),
+//   * a typed error from this client (shed, drain, retries exhausted), or
+//   * a durable manifest a restarted daemon recovers;
+// RunRemoteSession() re-submits on "unknown" (a daemon restart lost its
+// in-memory report log) — safe because sessions are deterministic and
+// keyed by their client-assigned id.
+#ifndef VERITAS_NET_CLIENT_H_
+#define VERITAS_NET_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "net/io.h"
+#include "net/protocol.h"
+#include "util/cancellation.h"
+#include "util/result.h"
+
+namespace veritas {
+namespace net {
+
+struct NetClientOptions {
+  NetAddress address;
+  /// Budget per attempt (connect + send + receive).
+  long request_timeout_ms = 10'000;
+  /// Tries per Call(), including the first.
+  std::size_t max_attempts = 4;
+  double initial_backoff_seconds = 0.02;
+  double backoff_multiplier = 2.0;
+  /// Really sleep the backoff between attempts (off = virtual-only, for
+  /// deterministic tests).
+  bool sleep_backoff = true;
+  /// Largest accepted response payload.
+  std::size_t max_payload = 16u << 20;
+  /// Overall wall-clock cap across all attempts of one Call() and across a
+  /// whole RunRemoteSession(). Default: none.
+  Deadline overall_deadline;
+};
+
+/// Terminal view of one remotely run session, assembled from report fields.
+struct RemoteSessionResult {
+  std::string outcome;  ///< "completed" / "evicted" / "cancelled" / "failed".
+  Status session_status;
+  bool resumed = false;
+  bool recovered = false;
+  std::size_t num_validated = 0;
+  std::size_t rounds = 0;
+  double queue_wait_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Times the session was re-submitted after the daemon forgot it (restart
+  /// between submit and report).
+  std::size_t resubmits = 0;
+};
+
+class NetClient {
+ public:
+  explicit NetClient(NetClientOptions options);
+
+  /// One retried round trip. The response's request id is verified against
+  /// the request's. Only *transport* failures are retried; an application
+  /// rejection (shed, drain, not-found) arrives untouched inside the
+  /// returned NetResponse::status — retrying those is the caller's policy
+  /// decision, not the transport's.
+  Result<NetResponse> Call(const NetRequest& request);
+
+  /// Convenience wrappers over Call().
+  Result<NetResponse> Health(const std::string& request_id = "health");
+  Result<NetResponse> Submit(const SessionSpec& spec);
+  Result<NetResponse> Report(const std::string& session_id);
+  Result<std::string> MetricsJson(const std::string& request_id = "metrics");
+  Result<NetResponse> DrainServer(const std::string& request_id = "drain");
+
+  /// Submits `spec` and polls its report until terminal (see file comment
+  /// for the resubmit-on-unknown rule). `poll_interval_ms` paces the
+  /// polling; the options' overall_deadline bounds the whole wait.
+  Result<RemoteSessionResult> RunRemoteSession(const SessionSpec& spec,
+                                               long poll_interval_ms = 20);
+
+  const NetClientOptions& options() const { return options_; }
+
+ private:
+  /// One unretried attempt: connect, send, receive, match ids.
+  Result<NetResponse> CallOnce(const NetRequest& request,
+                               const Deadline& deadline);
+
+  const NetClientOptions options_;
+};
+
+}  // namespace net
+}  // namespace veritas
+
+#endif  // VERITAS_NET_CLIENT_H_

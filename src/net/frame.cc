@@ -1,0 +1,109 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/durable_file.h"
+#include "util/strings.h"
+
+namespace veritas {
+namespace net {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'F', 'R', '1'};
+constexpr const char* kCorruptPrefix = "frame corrupt: ";
+
+void PutU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+Status Corrupt(const std::string& why) {
+  static Counter* corrupt_counter =
+      MetricsRegistry::Global().GetCounter("net.frames_corrupt");
+  corrupt_counter->Add(1);
+  return Status::IoError(kCorruptPrefix + why);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(type));
+  out.append(3, '\0');  // Reserved.
+  PutU32(&out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(&out, Crc32c(payload));
+  PutU32(&out, Crc32c(out.data(), 16));
+  out.append(payload);
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view data,
+                                      std::size_t max_payload) {
+  if (data.size() != kFrameHeaderSize) {
+    return Corrupt("header is " + std::to_string(data.size()) +
+                   " bytes, expected " + std::to_string(kFrameHeaderSize));
+  }
+  // The header CRC first: with a corrupted header nothing else in it can be
+  // trusted, including the magic (so distinct messages don't leak which
+  // field a flipped bit landed in).
+  const std::uint32_t want_crc = GetU32(data.data() + 16);
+  if (Crc32c(data.data(), 16) != want_crc) {
+    return Corrupt("header checksum mismatch");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  const std::uint8_t raw_type = static_cast<std::uint8_t>(data[4]);
+  if (raw_type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    return Corrupt("unknown frame type " + std::to_string(raw_type));
+  }
+  if (data[5] != 0 || data[6] != 0 || data[7] != 0) {
+    return Corrupt("nonzero reserved bytes");
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(raw_type);
+  header.payload_size = GetU32(data.data() + 8);
+  header.payload_crc = GetU32(data.data() + 12);
+  const std::size_t cap =
+      max_payload < kMaxFramePayload ? max_payload : kMaxFramePayload;
+  if (header.payload_size > cap) {
+    return Corrupt("payload of " + std::to_string(header.payload_size) +
+                   " bytes exceeds the " + std::to_string(cap) + " byte cap");
+  }
+  return header;
+}
+
+Status VerifyFramePayload(const FrameHeader& header,
+                          std::string_view payload) {
+  if (payload.size() != header.payload_size) {
+    return Corrupt("payload is " + std::to_string(payload.size()) +
+                   " bytes, header promised " +
+                   std::to_string(header.payload_size));
+  }
+  if (Crc32c(payload) != header.payload_crc) {
+    return Corrupt("payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+bool IsFrameCorrupt(const Status& status) {
+  return status.code() == StatusCode::kIoError &&
+         StartsWith(status.message(), "frame corrupt:");
+}
+
+}  // namespace net
+}  // namespace veritas

@@ -1,0 +1,79 @@
+// Wire framing for the veritas_serve network protocol (DESIGN.md §5i).
+//
+// Every message travels as one length-prefixed, CRC-32C-protected frame:
+//
+//   offset size  field
+//   0      4     magic "VFR1"
+//   4      1     frame type (request / response)
+//   5      3     reserved, must be zero
+//   8      4     payload length, little-endian (capped by the receiver)
+//   12     4     CRC-32C of the payload, little-endian
+//   16     4     CRC-32C of bytes [0, 16), little-endian
+//   20     ...   payload
+//
+// The header carries its own checksum so a corrupted *length* is detected
+// before the receiver commits to reading (or allocating) a garbage-sized
+// payload — without it, a single flipped length bit turns into a hang until
+// the read deadline. The payload checksum reuses util/durable_file's CRC-32C
+// table, the same polynomial that guards checkpoints on disk: a flipped bit
+// on the wire is rejected exactly like a flipped bit at rest.
+//
+// A failed decode poisons the stream (the receiver no longer knows where the
+// next frame starts), so callers must close the connection after any
+// corruption error; the client's retry layer reconnects and re-sends under
+// the same idempotent request id.
+#ifndef VERITAS_NET_FRAME_H_
+#define VERITAS_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace veritas {
+namespace net {
+
+/// Frame header size on the wire, bytes.
+constexpr std::size_t kFrameHeaderSize = 20;
+
+/// Hard ceiling a receiver will ever accept, regardless of options; keeps a
+/// corrupted-but-checksum-colliding length from allocating the moon.
+constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Serializes a complete frame (header + payload).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Parses and verifies the fixed-size header (`data` must hold exactly
+/// kFrameHeaderSize bytes). Rejects bad magic, a bad header CRC, an unknown
+/// type, nonzero reserved bytes and payloads above `max_payload`. Every
+/// rejection is an IoError whose message starts with "frame corrupt" (see
+/// IsFrameCorrupt) and bumps the `net.frames_corrupt` counter.
+Result<FrameHeader> DecodeFrameHeader(std::string_view data,
+                                      std::size_t max_payload);
+
+/// Verifies the payload against the header's CRC. Same corruption contract
+/// as DecodeFrameHeader.
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// True when `status` reports a corrupt frame (as opposed to a transport
+/// failure) — the caller should close the connection either way, but the
+/// distinction feeds the `net.frames_corrupt` accounting and tests.
+bool IsFrameCorrupt(const Status& status);
+
+}  // namespace net
+}  // namespace veritas
+
+#endif  // VERITAS_NET_FRAME_H_

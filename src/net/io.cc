@@ -1,0 +1,329 @@
+#include "net/io.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace veritas {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Polls `fd` for `events` until ready or the deadline expires. EINTR is
+/// retried with the remaining budget recomputed, so a signal storm cannot
+/// extend the wait.
+Status WaitFor(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.has_deadline()) {
+      const auto left = deadline.remaining();
+      if (left.count() <= 0) {
+        return Status::DeadlineExceeded("i/o deadline expired");
+      }
+      // Round up so a sub-millisecond remainder still polls once.
+      timeout_ms = static_cast<int>((left.count() + 999999) / 1000000);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();  // Ready (or HUP/ERR: surfaced by the
+                                      // following read/write's result).
+    if (rc == 0) return Status::DeadlineExceeded("i/o deadline expired");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+Result<int> FillSockaddr(const NetAddress& address, struct sockaddr_storage* ss,
+                         socklen_t* len) {
+  std::memset(ss, 0, sizeof(*ss));
+  if (address.unix_domain) {
+    auto* sun = reinterpret_cast<struct sockaddr_un*>(ss);
+    sun->sun_family = AF_UNIX;
+    if (address.path.empty() ||
+        address.path.size() >= sizeof(sun->sun_path)) {
+      return Status::InvalidArgument("unix socket path empty or longer than " +
+                                     std::to_string(sizeof(sun->sun_path) - 1) +
+                                     " bytes: \"" + address.path + "\"");
+    }
+    std::memcpy(sun->sun_path, address.path.c_str(), address.path.size() + 1);
+    *len = sizeof(*sun);
+    return AF_UNIX;
+  }
+  auto* sin = reinterpret_cast<struct sockaddr_in*>(ss);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(static_cast<std::uint16_t>(address.port));
+  const std::string host =
+      address.host == "localhost" ? "127.0.0.1" : address.host;
+  if (::inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 host \"" + address.host +
+                                   "\"");
+  }
+  *len = sizeof(*sin);
+  return AF_INET;
+}
+
+}  // namespace
+
+std::string NetAddress::ToString() const {
+  if (unix_domain) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Result<NetAddress> ParseNetAddress(const std::string& text) {
+  NetAddress address;
+  if (StartsWith(text, "unix:")) {
+    address.unix_domain = true;
+    address.path = text.substr(5);
+    if (address.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in \"" + text +
+                                     "\"");
+    }
+    return address;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    return Status::InvalidArgument("expected host:port or unix:<path>, got \"" +
+                                   text + "\"");
+  }
+  address.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port \"" + port_text + "\" in \"" +
+                                   text + "\"");
+  }
+  address.port = static_cast<int>(port);
+  return address;
+}
+
+Result<ListenSocket> Listen(const NetAddress& address, int backlog) {
+  struct sockaddr_storage ss;
+  socklen_t len = 0;
+  VERITAS_ASSIGN_OR_RETURN(const int family, FillSockaddr(address, &ss, &len));
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ListenSocket listener;
+  listener.fd = fd;
+  listener.address = address;
+  if (family == AF_INET) {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  } else {
+    // A previous daemon's socket file blocks bind; it is dead by definition
+    // (one daemon per path), so replace it.
+    ::unlink(address.path.c_str());
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&ss), len) != 0) {
+    const Status st = Errno("bind " + address.ToString());
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen " + address.ToString());
+    CloseFd(fd);
+    return st;
+  }
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  if (family == AF_INET && address.port == 0) {
+    // Report the kernel-assigned ephemeral port so scripts and tests can
+    // find the daemon.
+    struct sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      listener.address.port = ntohs(bound.sin_port);
+    }
+  }
+  return listener;
+}
+
+Result<int> Connect(const NetAddress& address, const Deadline& deadline) {
+  struct sockaddr_storage ss;
+  socklen_t len = 0;
+  VERITAS_ASSIGN_OR_RETURN(const int family, FillSockaddr(address, &ss, &len));
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&ss), len) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS || errno == EALREADY) break;
+    if (errno == EISCONN) return fd;
+    const Status st =
+        errno == ECONNREFUSED || errno == ENOENT
+            ? Status::Unavailable("connect " + address.ToString() + ": " +
+                                  std::strerror(errno))
+            : Errno("connect " + address.ToString());
+    CloseFd(fd);
+    return st;
+  }
+  // Non-blocking connect: wait for writability, then read the final verdict
+  // out of SO_ERROR.
+  if (Status st = WaitFor(fd, POLLOUT, deadline); !st.ok()) {
+    CloseFd(fd);
+    return st;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    const int cause = err != 0 ? err : errno;
+    const Status st =
+        cause == ECONNREFUSED
+            ? Status::Unavailable("connect " + address.ToString() + ": " +
+                                  std::strerror(cause))
+            : Status::IoError("connect " + address.ToString() + ": " +
+                              std::strerror(cause));
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> Accept(int listen_fd, const Deadline& deadline) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      if (Status st = SetNonBlocking(fd); !st.ok()) {
+        CloseFd(fd);
+        return st;
+      }
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      VERITAS_RETURN_IF_ERROR(WaitFor(listen_fd, POLLIN, deadline));
+      continue;
+    }
+    return Errno("accept");
+  }
+}
+
+Status WaitReadable(int fd, const Deadline& deadline) {
+  return WaitFor(fd, POLLIN, deadline);
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  while (::close(fd) != 0 && errno == EINTR) {
+  }
+}
+
+Status ReadFull(int fd, void* buffer, std::size_t size,
+                const Deadline& deadline) {
+  char* p = static_cast<char*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    // Poll-first so the deadline governs even when the fd was handed to us
+    // in blocking mode (socketpair in tests, an inherited fd): a stream
+    // recv after POLLIN returns whatever is buffered without blocking.
+    VERITAS_RETURN_IF_ERROR(WaitFor(fd, POLLIN, deadline));
+    const ssize_t n = ::recv(fd, p + done, size - done, MSG_DONTWAIT);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed after " +
+                                 std::to_string(done) + " of " +
+                                 std::to_string(size) + " bytes");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // Spurious wake.
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("connection reset after " +
+                                 std::to_string(done) + " of " +
+                                 std::to_string(size) + " bytes");
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buffer, std::size_t size,
+                 const Deadline& deadline) {
+  const char* p = static_cast<const char*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    // Poll-first + MSG_DONTWAIT: see ReadFull — a blocking-mode fd must
+    // never turn a slow peer into an unbounded send() stall.
+    VERITAS_RETURN_IF_ERROR(WaitFor(fd, POLLOUT, deadline));
+    const ssize_t n =
+        ::send(fd, p + done, size - done, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("connection closed after " +
+                                 std::to_string(done) + " of " +
+                                 std::to_string(size) + " bytes sent");
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status SendFrame(int fd, FrameType type, std::string_view payload,
+                 const Deadline& deadline) {
+  const std::string frame = EncodeFrame(type, payload);
+  return WriteFull(fd, frame.data(), frame.size(), deadline);
+}
+
+Result<Frame> RecvFrame(int fd, const Deadline& deadline,
+                        std::size_t max_payload) {
+  char header_bytes[kFrameHeaderSize];
+  VERITAS_RETURN_IF_ERROR(
+      ReadFull(fd, header_bytes, sizeof(header_bytes), deadline));
+  auto header = DecodeFrameHeader(
+      std::string_view(header_bytes, sizeof(header_bytes)), max_payload);
+  if (!header.ok()) return header.status();
+  Frame frame;
+  frame.type = header->type;
+  frame.payload.resize(header->payload_size);
+  if (header->payload_size > 0) {
+    VERITAS_RETURN_IF_ERROR(
+        ReadFull(fd, frame.payload.data(), frame.payload.size(), deadline));
+  }
+  VERITAS_RETURN_IF_ERROR(VerifyFramePayload(*header, frame.payload));
+  return frame;
+}
+
+}  // namespace net
+}  // namespace veritas

@@ -1,0 +1,99 @@
+// Deadline-aware, EINTR/partial-transfer-safe socket I/O for the network
+// front end (DESIGN.md §5i). Everything here is built for hostile links:
+//
+//   * every read/write runs the fd in non-blocking mode behind poll(), so a
+//     peer that stalls mid-frame costs exactly the caller's Deadline, never
+//     a hung thread;
+//   * short reads/writes and EINTR are retried transparently — ReadFull /
+//     WriteFull either transfer the whole buffer or return a typed error;
+//   * a cleanly closed peer is Status::Unavailable (the retry layer's
+//     signal), a expired budget is Status::DeadlineExceeded, everything else
+//     is an IoError.
+//
+// TCP (IPv4) and Unix-domain stream sockets share one NetAddress type, so a
+// daemon, client, proxy or test can switch transports with a flag.
+#ifndef VERITAS_NET_IO_H_
+#define VERITAS_NET_IO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "net/frame.h"
+#include "util/cancellation.h"
+#include "util/result.h"
+
+namespace veritas {
+namespace net {
+
+/// "host:port" (IPv4 or "localhost") or "unix:<path>".
+struct NetAddress {
+  bool unix_domain = false;
+  std::string host;  ///< TCP only.
+  int port = 0;      ///< TCP only; 0 binds an ephemeral port.
+  std::string path;  ///< Unix-domain only.
+
+  std::string ToString() const;
+};
+
+/// Parses "unix:/some/path" or "host:port". InvalidArgument on anything
+/// else (missing port, non-numeric port, empty host/path).
+Result<NetAddress> ParseNetAddress(const std::string& text);
+
+/// A bound, listening socket. `address` echoes the request with the actual
+/// port filled in when an ephemeral port (0) was asked for.
+struct ListenSocket {
+  int fd = -1;
+  NetAddress address;
+};
+
+/// Binds + listens (SO_REUSEADDR for TCP; a pre-existing socket file is
+/// unlinked for Unix-domain). The fd is non-blocking.
+Result<ListenSocket> Listen(const NetAddress& address, int backlog = 64);
+
+/// Connects within `deadline`; the returned fd is non-blocking.
+Result<int> Connect(const NetAddress& address, const Deadline& deadline);
+
+/// Accepts one connection, waiting at most `deadline` for one to arrive
+/// (DeadlineExceeded on expiry — the accept loop's poll tick). The returned
+/// fd is non-blocking.
+Result<int> Accept(int listen_fd, const Deadline& deadline);
+
+/// Closes `fd`, retrying EINTR; no-op for negative fds.
+void CloseFd(int fd);
+
+/// Waits until `fd` has bytes to read (or the peer closed) within
+/// `deadline`. Lets a server idle-poll a connection without consuming any
+/// bytes: a DeadlineExceeded here leaves the stream synchronized, unlike a
+/// deadline that fires mid-RecvFrame.
+Status WaitReadable(int fd, const Deadline& deadline);
+
+/// Reads exactly `size` bytes. Unavailable when the peer closes first,
+/// DeadlineExceeded when the budget expires mid-transfer.
+Status ReadFull(int fd, void* buffer, std::size_t size,
+                const Deadline& deadline);
+
+/// Writes exactly `size` bytes (MSG_NOSIGNAL — a dead peer is a returned
+/// Unavailable, never a SIGPIPE).
+Status WriteFull(int fd, const void* buffer, std::size_t size,
+                 const Deadline& deadline);
+
+/// One decoded frame off the wire.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Writes one whole frame.
+Status SendFrame(int fd, FrameType type, std::string_view payload,
+                 const Deadline& deadline);
+
+/// Reads and verifies one whole frame. Corruption (CRC/magic/oversize, see
+/// net/frame.h) comes back as a "frame corrupt" IoError; the stream is then
+/// unsynchronized and the caller must close the connection.
+Result<Frame> RecvFrame(int fd, const Deadline& deadline,
+                        std::size_t max_payload);
+
+}  // namespace net
+}  // namespace veritas
+
+#endif  // VERITAS_NET_IO_H_

@@ -1,0 +1,286 @@
+#include "net/protocol.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace veritas {
+namespace net {
+
+namespace {
+
+constexpr const char* kRequestHeader = "veritas-net-request v1";
+constexpr const char* kResponseHeader = "veritas-net-response v1";
+
+// Values travel as the remainder of a "key value" line, so embedded
+// newlines must be escaped and the empty string needs a marker ("-", the
+// manifest convention). A literal leading "-" is escaped to stay
+// round-trippable.
+std::string EscapeValue(const std::string& value) {
+  if (value.empty()) return "-";
+  std::string out;
+  out.reserve(value.size());
+  if (value[0] == '-') out.push_back('\\');
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeValue(const std::string& value) {
+  if (value == "-") return "";
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      out.push_back(value[i]);
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        out.push_back(value[i]);
+    }
+  }
+  return out;
+}
+
+Status Malformed(const std::string& what, const std::string& why) {
+  return Status::InvalidArgument("malformed " + what + ": " + why);
+}
+
+/// Pulls the next "\n"-terminated line out of `payload` starting at `*pos`.
+bool NextLine(std::string_view payload, std::size_t* pos, std::string* line) {
+  if (*pos >= payload.size()) return false;
+  const std::size_t nl = payload.find('\n', *pos);
+  if (nl == std::string_view::npos) {
+    line->assign(payload.substr(*pos));
+    *pos = payload.size();
+  } else {
+    line->assign(payload.substr(*pos, nl - *pos));
+    *pos = nl + 1;
+  }
+  return true;
+}
+
+bool SplitKeyValue(const std::string& line, std::string* key,
+                   std::string* value) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos || space == 0) return false;
+  *key = line.substr(0, space);
+  *value = line.substr(space + 1);
+  return true;
+}
+
+}  // namespace
+
+Result<StatusCode> ParseStatusCode(const std::string& name) {
+  static const std::map<std::string, StatusCode> kCodes = {
+      {"OK", StatusCode::kOk},
+      {"InvalidArgument", StatusCode::kInvalidArgument},
+      {"NotFound", StatusCode::kNotFound},
+      {"OutOfRange", StatusCode::kOutOfRange},
+      {"FailedPrecondition", StatusCode::kFailedPrecondition},
+      {"Internal", StatusCode::kInternal},
+      {"IoError", StatusCode::kIoError},
+      {"Unimplemented", StatusCode::kUnimplemented},
+      {"Unavailable", StatusCode::kUnavailable},
+      {"DeadlineExceeded", StatusCode::kDeadlineExceeded},
+      {"Abstained", StatusCode::kAbstained},
+      {"ResourceExhausted", StatusCode::kResourceExhausted},
+  };
+  const auto it = kCodes.find(name);
+  if (it == kCodes.end()) {
+    return Status::InvalidArgument("unknown status code name \"" + name +
+                                   "\"");
+  }
+  return it->second;
+}
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kHealth:
+      return "health";
+    case RequestType::kSubmit:
+      return "submit";
+    case RequestType::kReport:
+      return "report";
+    case RequestType::kMetrics:
+      return "metrics";
+    case RequestType::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<RequestType> ParseRequestTypeName(const std::string& name) {
+  for (RequestType type :
+       {RequestType::kHealth, RequestType::kSubmit, RequestType::kReport,
+        RequestType::kMetrics, RequestType::kDrain}) {
+    if (name == RequestTypeName(type)) return type;
+  }
+  return Status::InvalidArgument("unknown request type \"" + name + "\"");
+}
+
+}  // namespace
+
+std::string EncodeNetRequest(const NetRequest& request) {
+  std::string out = kRequestHeader;
+  out += "\n";
+  out += "type ";
+  out += RequestTypeName(request.type);
+  out += "\n";
+  out += "request_id " + EscapeValue(request.request_id) + "\n";
+  if (request.type == RequestType::kSubmit) {
+    // The shared spec codec keeps the wire form and the manifest form in
+    // lockstep: what the daemon persists is exactly what arrived.
+    for (const std::string& line :
+         Split(SerializeSessionSpecFields(request.spec), '\n')) {
+      if (line.empty()) continue;
+      out += "spec." + line + "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<NetRequest> DecodeNetRequest(std::string_view payload) {
+  std::size_t pos = 0;
+  std::string line;
+  if (!NextLine(payload, &pos, &line) || line != kRequestHeader) {
+    return Malformed("request", "missing or unsupported header");
+  }
+  NetRequest request;
+  bool saw_type = false;
+  bool saw_end = false;
+  while (NextLine(payload, &pos, &line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::string key;
+    std::string value;
+    if (!SplitKeyValue(line, &key, &value)) {
+      return Malformed("request", "bad line \"" + line + "\"");
+    }
+    if (key == "type") {
+      VERITAS_ASSIGN_OR_RETURN(request.type, ParseRequestTypeName(value));
+      saw_type = true;
+    } else if (key == "request_id") {
+      request.request_id = UnescapeValue(value);
+    } else if (StartsWith(key, "spec.")) {
+      VERITAS_RETURN_IF_ERROR(
+          ApplySessionSpecField(key.substr(5), value, &request.spec));
+    }
+    // Unknown top-level keys are skipped for forward compatibility.
+  }
+  if (!saw_end) return Malformed("request", "truncated (no end marker)");
+  if (!saw_type) return Malformed("request", "missing type");
+  if (request.request_id.empty()) {
+    return Malformed("request", "missing request_id");
+  }
+  if (request.type == RequestType::kSubmit &&
+      request.spec.id != request.request_id) {
+    return Malformed("request", "submit request_id \"" + request.request_id +
+                                    "\" does not match spec id \"" +
+                                    request.spec.id + "\"");
+  }
+  return request;
+}
+
+std::string EncodeNetResponse(const NetResponse& response) {
+  std::string out = kResponseHeader;
+  out += "\n";
+  out += "request_id " + EscapeValue(response.request_id) + "\n";
+  out += "code ";
+  out += StatusCodeName(response.status.code());
+  out += "\n";
+  out += "message " + EscapeValue(response.status.message()) + "\n";
+  for (const auto& [key, value] : response.fields) {
+    out += "field." + key + " " + EscapeValue(value) + "\n";
+  }
+  if (!response.body.empty()) {
+    // Length-prefixed raw blob: the body may contain newlines or "end".
+    out += "body " + std::to_string(response.body.size()) + "\n";
+    out += response.body;
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<NetResponse> DecodeNetResponse(std::string_view payload) {
+  std::size_t pos = 0;
+  std::string line;
+  if (!NextLine(payload, &pos, &line) || line != kResponseHeader) {
+    return Malformed("response", "missing or unsupported header");
+  }
+  NetResponse response;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool saw_end = false;
+  while (NextLine(payload, &pos, &line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::string key;
+    std::string value;
+    if (!SplitKeyValue(line, &key, &value)) {
+      return Malformed("response", "bad line \"" + line + "\"");
+    }
+    if (key == "request_id") {
+      response.request_id = UnescapeValue(value);
+    } else if (key == "code") {
+      VERITAS_ASSIGN_OR_RETURN(code, ParseStatusCode(value));
+    } else if (key == "message") {
+      message = UnescapeValue(value);
+    } else if (key == "body") {
+      char* end = nullptr;
+      const unsigned long size = std::strtoul(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Malformed("response", "bad body size \"" + value + "\"");
+      }
+      if (payload.size() - pos < size + 1) {  // +1: trailing newline.
+        return Malformed("response", "body promises " + std::to_string(size) +
+                                         " bytes, only " +
+                                         std::to_string(payload.size() - pos) +
+                                         " remain");
+      }
+      response.body.assign(payload.substr(pos, size));
+      pos += size;
+      if (payload[pos] != '\n') {
+        return Malformed("response", "body missing trailing newline");
+      }
+      ++pos;
+    } else if (StartsWith(key, "field.")) {
+      response.fields[key.substr(6)] = UnescapeValue(value);
+    }
+  }
+  if (!saw_end) return Malformed("response", "truncated (no end marker)");
+  response.status = Status(code, message);
+  return response;
+}
+
+}  // namespace net
+}  // namespace veritas

@@ -1,0 +1,80 @@
+// Request/response message model for the veritas_serve wire protocol
+// (DESIGN.md §5i). One frame (net/frame.h) carries one encoded message;
+// this header defines what goes inside the payload.
+//
+// The encoding is the same line-based "key value" text used by session
+// manifests — deliberately: a SessionSpec that crossed the wire is written
+// to the admission manifest byte-for-byte via the shared codec in
+// serve/session_manifest.h, so a recovery sweep after a daemon crash
+// replays exactly what the client submitted.
+//
+// Idempotency contract: every request carries a client-assigned request id
+// (for kSubmit it equals the session id). Submitting the same id twice is
+// safe — the daemon answers from the active set or the report log instead
+// of admitting a duplicate — which lets the client blindly re-send after
+// any connection failure without risking double execution.
+#ifndef VERITAS_NET_PROTOCOL_H_
+#define VERITAS_NET_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "serve/session_manifest.h"
+#include "util/result.h"
+
+namespace veritas {
+namespace net {
+
+/// What the client is asking the daemon to do.
+enum class RequestType {
+  kHealth = 0,  ///< Liveness/readiness probe; never sheds.
+  kSubmit,      ///< Admit `spec` (idempotent on spec.id).
+  kReport,      ///< Poll the terminal report for request_id's session.
+  kMetrics,     ///< Full MetricsSnapshot as a JSON body.
+  kDrain,       ///< Begin graceful drain (stop dequeuing; see daemon docs).
+};
+
+/// Stable wire name ("health", "submit", ...).
+const char* RequestTypeName(RequestType type);
+
+/// Inverse of StatusCodeName ("OK", "Unavailable", ...). InvalidArgument
+/// for unknown names.
+Result<StatusCode> ParseStatusCode(const std::string& name);
+
+struct NetRequest {
+  RequestType type = RequestType::kHealth;
+  /// Client-assigned idempotency key, echoed back in the response. Must be
+  /// non-empty; for kSubmit it must equal spec.id.
+  std::string request_id;
+  /// kSubmit only.
+  SessionSpec spec;
+};
+
+struct NetResponse {
+  /// Echo of the request id — the client drops replies that do not match
+  /// (a stale frame from a previous request on a reused connection).
+  std::string request_id;
+  /// Overall verdict, transported as code name + message. A shed admission
+  /// arrives here as the supervisor's typed ResourceExhausted.
+  Status status;
+  /// Small structured results ("state", "outcome", "num_validated", ...).
+  std::map<std::string, std::string> fields;
+  /// Opaque blob (metrics JSON); length-prefixed on the wire so it may
+  /// contain anything.
+  std::string body;
+};
+
+std::string EncodeNetRequest(const NetRequest& request);
+/// InvalidArgument on malformed payloads (bad header, unknown type, missing
+/// request id, truncation). Unknown "spec.*" keys are skipped, like
+/// manifest loading, so old daemons accept new clients' specs.
+Result<NetRequest> DecodeNetRequest(std::string_view payload);
+
+std::string EncodeNetResponse(const NetResponse& response);
+Result<NetResponse> DecodeNetResponse(std::string_view payload);
+
+}  // namespace net
+}  // namespace veritas
+
+#endif  // VERITAS_NET_PROTOCOL_H_

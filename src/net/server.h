@@ -1,0 +1,107 @@
+// NetServer: the accept loop + request dispatcher behind veritas_serve
+// (DESIGN.md §5i). It owns no fusion state — every request is answered out
+// of the wrapped SessionSupervisor (admission, reports, drain) or the
+// global MetricsRegistry (snapshots), so the server stays a thin, faulty-
+// network-hardened shell around the overload machinery PR 5 built.
+//
+// Overload behavior mirrors the supervisor's bounded admission queue one
+// layer down: at most `max_connections` handler threads exist; a connection
+// beyond that is *accepted, answered with a typed ResourceExhausted, and
+// closed* (net.shed) — never silently dropped and never queued unboundedly.
+//
+// Drain: RequestDrain() (SIGTERM or a kDrain request) forwards to
+// SessionSupervisor::BeginDrain(). Existing connections keep being served —
+// a draining daemon still answers health/report/metrics so clients can
+// observe the wind-down — but submits are rejected with Unavailable. The
+// daemon exits once the last running session has checkpointed; queued
+// sessions survive as durable manifests for the next process's recovery
+// sweep.
+#ifndef VERITAS_NET_SERVER_H_
+#define VERITAS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/io.h"
+#include "net/protocol.h"
+#include "serve/session_supervisor.h"
+
+namespace veritas {
+namespace net {
+
+struct NetServerOptions {
+  NetAddress address;
+  /// Concurrent connection-handler threads; the accept loop sheds beyond
+  /// this with a typed ResourceExhausted response.
+  std::size_t max_connections = 32;
+  /// Budget for reading one request frame and writing its response.
+  long request_timeout_ms = 10'000;
+  /// Idle poll tick between requests on a kept-open connection; also bounds
+  /// how long Stop() waits for handler threads to notice.
+  long idle_poll_ms = 100;
+  /// Largest accepted request payload.
+  std::size_t max_payload = 4u << 20;
+};
+
+class NetServer {
+ public:
+  /// `supervisor` must be started and must outlive the server.
+  NetServer(SessionSupervisor* supervisor, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread.
+  Status Start();
+
+  /// The listen address with any ephemeral port resolved.
+  const NetAddress& bound_address() const { return bound_; }
+
+  /// Begins the graceful drain (idempotent; see file comment).
+  void RequestDrain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Closes the listener and joins every thread. Idempotent.
+  void Stop();
+
+  /// Computes the response for one decoded request. Public so tests can
+  /// exercise dispatch without a socket.
+  NetResponse Dispatch(const NetRequest& request);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// One-request handler for an over-capacity connection: reads the
+  /// request, answers a typed ResourceExhausted, closes.
+  void HandleShed(int fd);
+  /// Joins finished handler threads; under `lock` on conn_mu_.
+  void ReapFinished();
+
+  SessionSupervisor* const supervisor_;
+  const NetServerOptions options_;
+  NetAddress bound_;
+  /// Atomic: Stop() shutdown()s it from outside while the accept thread
+  /// still owns (and eventually closes + clears) it.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conn_mu_;
+  std::vector<Handler> handlers_;
+  bool started_ = false;
+};
+
+}  // namespace net
+}  // namespace veritas
+
+#endif  // VERITAS_NET_SERVER_H_

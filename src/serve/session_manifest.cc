@@ -1,11 +1,14 @@
 #include "serve/session_manifest.h"
 
 #include <dirent.h>
+#include <signal.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -55,9 +58,8 @@ std::string SessionCheckpointPath(const std::string& dir,
   return dir + "/" + id + ".ckpt";
 }
 
-Status SaveSessionManifest(const SessionSpec& spec, const std::string& path) {
+std::string SerializeSessionSpecFields(const SessionSpec& spec) {
   std::ostringstream out;
-  out << kHeader << "\n";
   out << "id " << spec.id << "\n";
   out << "strategy " << EncodeString(spec.strategy) << "\n";
   out << "model " << EncodeString(spec.model) << "\n";
@@ -74,8 +76,63 @@ Status SaveSessionManifest(const SessionSpec& spec, const std::string& path) {
   out << "delta " << (spec.use_delta_fusion ? 1 : 0) << "\n";
   out << "threads " << spec.threads << "\n";
   out << "recovery_attempts " << spec.recovery_attempts << "\n";
-  out << "end\n";
-  return AtomicWriteFile(path, out.str());
+  return out.str();
+}
+
+Status ApplySessionSpecField(const std::string& key, const std::string& value,
+                             SessionSpec* spec, bool* known) {
+  if (known != nullptr) *known = true;
+  std::istringstream num(value);
+  const auto bad = [&]() {
+    return Status::InvalidArgument("bad value \"" + value +
+                                   "\" for session spec field " + key);
+  };
+  if (key == "id") {
+    spec->id = value;
+  } else if (key == "strategy") {
+    spec->strategy = DecodeString(value);
+  } else if (key == "model") {
+    spec->model = DecodeString(value);
+  } else if (key == "oracle") {
+    spec->oracle = DecodeString(value);
+  } else if (key == "max_validations") {
+    if (!(num >> spec->max_validations)) return bad();
+  } else if (key == "batch") {
+    if (!(num >> spec->batch_size)) return bad();
+  } else if (key == "seed") {
+    if (!(num >> spec->seed)) return bad();
+  } else if (key == "deadline_ms") {
+    if (!(num >> spec->deadline_ms)) return bad();
+  } else if (key == "budget_bytes") {
+    if (!(num >> spec->budget.max_approx_bytes)) return bad();
+  } else if (key == "budget_rounds") {
+    if (!(num >> spec->budget.max_rounds_per_run)) return bad();
+  } else if (key == "flaky") {
+    spec->flaky_plan = DecodeString(value);
+  } else if (key == "retries") {
+    if (!(num >> spec->retries)) return bad();
+  } else if (key == "stall_seconds") {
+    if (!(num >> spec->stall_seconds)) return bad();
+  } else if (key == "delta") {
+    int flag = 0;
+    if (!(num >> flag)) return bad();
+    spec->use_delta_fusion = flag != 0;
+  } else if (key == "threads") {
+    if (!(num >> spec->threads)) return bad();
+  } else if (key == "recovery_attempts") {
+    if (!(num >> spec->recovery_attempts)) return bad();
+  } else if (known != nullptr) {
+    *known = false;
+  }
+  return Status::OK();
+}
+
+Status SaveSessionManifest(const SessionSpec& spec, const std::string& path) {
+  std::string out = kHeader;
+  out += "\n";
+  out += SerializeSessionSpecFields(spec);
+  out += "end\n";
+  return AtomicWriteFile(path, out);
 }
 
 Result<SessionSpec> LoadSessionManifest(const std::string& path) {
@@ -102,47 +159,11 @@ Result<SessionSpec> LoadSessionManifest(const std::string& path) {
     }
     const std::string key = line.substr(0, space);
     const std::string value = line.substr(space + 1);
-    std::istringstream num(value);
-    const auto bad = [&]() {
-      return Status::InvalidArgument("manifest " + path + ": bad value for " +
-                                     key);
-    };
-    if (key == "id") {
-      spec.id = value;
-    } else if (key == "strategy") {
-      spec.strategy = DecodeString(value);
-    } else if (key == "model") {
-      spec.model = DecodeString(value);
-    } else if (key == "oracle") {
-      spec.oracle = DecodeString(value);
-    } else if (key == "max_validations") {
-      if (!(num >> spec.max_validations)) return bad();
-    } else if (key == "batch") {
-      if (!(num >> spec.batch_size)) return bad();
-    } else if (key == "seed") {
-      if (!(num >> spec.seed)) return bad();
-    } else if (key == "deadline_ms") {
-      if (!(num >> spec.deadline_ms)) return bad();
-    } else if (key == "budget_bytes") {
-      if (!(num >> spec.budget.max_approx_bytes)) return bad();
-    } else if (key == "budget_rounds") {
-      if (!(num >> spec.budget.max_rounds_per_run)) return bad();
-    } else if (key == "flaky") {
-      spec.flaky_plan = DecodeString(value);
-    } else if (key == "retries") {
-      if (!(num >> spec.retries)) return bad();
-    } else if (key == "stall_seconds") {
-      if (!(num >> spec.stall_seconds)) return bad();
-    } else if (key == "delta") {
-      int flag = 0;
-      if (!(num >> flag)) return bad();
-      spec.use_delta_fusion = flag != 0;
-    } else if (key == "threads") {
-      if (!(num >> spec.threads)) return bad();
-    } else if (key == "recovery_attempts") {
-      if (!(num >> spec.recovery_attempts)) return bad();
+    // Unknown keys are skipped inside ApplySessionSpecField so older
+    // binaries read newer manifests.
+    if (Status st = ApplySessionSpecField(key, value, &spec); !st.ok()) {
+      return Status::InvalidArgument("manifest " + path + ": " + st.message());
     }
-    // Unknown keys are skipped so older binaries read newer manifests.
   }
   if (!saw_end) {
     return Status::InvalidArgument("manifest " + path +
@@ -175,6 +196,32 @@ Result<std::vector<std::string>> ListSessionManifests(
   ::closedir(d);
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+std::size_t RemoveOrphanTempFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::vector<std::string> doomed;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    const std::size_t at = name.find(".tmp.");
+    if (at == std::string::npos) continue;
+    // AtomicWriteFile's POSIX temp name is <final>.tmp.<pid>.<serial>;
+    // anything that does not parse that way is not ours to delete.
+    const char* digits = name.c_str() + at + 5;
+    char* end = nullptr;
+    const long pid = std::strtol(digits, &end, 10);
+    if (end == digits || *end != '.' || pid <= 0) continue;
+    if (pid == static_cast<long>(::getpid())) continue;  // Live writer: us.
+    errno = 0;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+      continue;  // Pid exists (or is unprobeable): assume a live writer.
+    }
+    doomed.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  for (const std::string& path : doomed) ::unlink(path.c_str());
+  return doomed.size();
 }
 
 }  // namespace veritas

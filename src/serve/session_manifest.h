@@ -64,6 +64,18 @@ std::string SessionManifestPath(const std::string& dir, const std::string& id);
 std::string SessionCheckpointPath(const std::string& dir,
                                   const std::string& id);
 
+/// Serializes `spec` as "key value" lines (one per field, insertion-stable).
+/// Shared by the manifest format and the network protocol (net/protocol),
+/// so a spec that crossed the wire round-trips bit-identically into the
+/// manifest a recovery sweep later replays.
+std::string SerializeSessionSpecFields(const SessionSpec& spec);
+
+/// Applies one "key value" line to `spec`. Returns InvalidArgument for a
+/// recognized key with an unparsable value; unknown keys are skipped (so
+/// older binaries read newer specs) and reported via `*known = false`.
+Status ApplySessionSpecField(const std::string& key, const std::string& value,
+                             SessionSpec* spec, bool* known = nullptr);
+
 /// Serializes `spec` and writes it atomically (fsync'd) to `path`.
 Status SaveSessionManifest(const SessionSpec& spec, const std::string& path);
 
@@ -74,6 +86,13 @@ Result<SessionSpec> LoadSessionManifest(const std::string& path);
 /// Ids of every manifest (`*.session`) in `dir`, sorted. IoError when the
 /// directory cannot be read.
 Result<std::vector<std::string>> ListSessionManifests(const std::string& dir);
+
+/// Deletes `*.tmp.<pid>.<serial>` files in `dir` whose writing process is
+/// dead (a SIGKILL between AtomicWriteFile's write and rename strands the
+/// temp file forever — nothing else ever reclaims it). Files belonging to
+/// the current process or to any still-live pid are left alone, so a
+/// concurrent checkpointer is never sabotaged. Returns the number removed.
+std::size_t RemoveOrphanTempFiles(const std::string& dir);
 
 }  // namespace veritas
 

@@ -120,6 +120,12 @@ Status SessionSupervisor::Submit(SessionSpec spec) {
     if (stopping_) {
       return Status::FailedPrecondition("supervisor is shutting down");
     }
+    if (draining_) {
+      // Unavailable, not FailedPrecondition: the work is retryable against
+      // the replacement process once this one finishes draining.
+      return Status::Unavailable("supervisor is draining; session \"" +
+                                 spec.id + "\" not admitted");
+    }
     if (active_ids_.count(spec.id) != 0) {
       return Status::InvalidArgument("session \"" + spec.id +
                                      "\" is already queued or running");
@@ -162,10 +168,15 @@ std::size_t SessionSupervisor::RecoverSessions() {
   static Counter* recovered_counter = reg.GetCounter("supervisor.recovered");
   static Counter* abandoned_counter =
       reg.GetCounter("supervisor.recovery_abandoned");
+  static Counter* orphan_tmp_counter =
+      reg.GetCounter("supervisor.orphan_tmp_removed");
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_ || stopping_) return 0;
   }
+  // A SIGKILLed predecessor can strand `*.tmp.*` files mid-checkpoint;
+  // reclaim them here so crash-restart cycles never accumulate litter.
+  orphan_tmp_counter->Add(RemoveOrphanTempFiles(options_.sessions_dir));
   auto ids = ListSessionManifests(options_.sessions_dir);
   if (!ids.ok()) return 0;
   std::size_t recovered = 0;
@@ -222,6 +233,17 @@ void SessionSupervisor::Drain() {
   });
 }
 
+void SessionSupervisor::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return;
+  draining_ = true;
+  // Graceful stop only: every running session checkpoints at its next round
+  // boundary and reports kCancelled with its manifest intact, so the next
+  // process's recovery sweep resumes it bit-exactly.
+  for (auto& entry : running_) entry.second->token.RequestStop();
+  work_cv_.notify_all();
+}
+
 void SessionSupervisor::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -248,6 +270,16 @@ std::size_t SessionSupervisor::running_sessions() const {
 std::size_t SessionSupervisor::queued_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+bool SessionSupervisor::IsActive(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ids_.count(id) != 0;
+}
+
+bool SessionSupervisor::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
 }
 
 std::vector<SessionReport> SessionSupervisor::Reports() const {
@@ -282,7 +314,12 @@ void SessionSupervisor::WorkerLoop() {
     Running* run = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      work_cv_.wait(lock, [this] {
+        return stopping_ || draining_ || !queue_.empty();
+      });
+      // Draining: leave queued admissions untouched — their manifests are
+      // durable and the next process's recovery sweep re-admits them.
+      if (draining_) return;
       if (queue_.empty()) return;  // stopping_ set and queue drained.
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -309,6 +346,10 @@ void SessionSupervisor::WorkerLoop() {
         break;
       case SessionOutcome::kEvicted:
         evicted->Add(1);
+        // Per-tenant eviction counter (registry lookup, not static: the id
+        // differs per event). Lets an operator see *which* session is being
+        // squeezed, not just that someone is.
+        reg.GetCounter("supervisor.evicted." + report.id)->Add(1);
         break;
       case SessionOutcome::kCancelled:
         cancelled->Add(1);
@@ -349,6 +390,7 @@ void SessionSupervisor::WatchdogLoop() {
           run.token.RequestHardStop();
           run.escalation = 2;
           hard->Add(1);
+          reg.GetCounter("supervisor.watchdog_hard." + entry.first)->Add(1);
         }
         continue;
       }
@@ -365,6 +407,7 @@ void SessionSupervisor::WatchdogLoop() {
         run.escalation = 1;
         run.escalated_at = now;
         graceful->Add(1);
+        reg.GetCounter("supervisor.watchdog_graceful." + entry.first)->Add(1);
       }
     }
   }
@@ -445,6 +488,7 @@ SessionReport SessionSupervisor::RunOne(const Pending& item, Running* run) {
   session_options.deadline = run->deadline;
   session_options.budget =
       spec.budget.limited() ? spec.budget : options_.default_budget;
+  session_options.metrics_label = spec.id;
   report.resumed = FileExists(session_options.resume_path);
 
   Rng rng(spec.seed);

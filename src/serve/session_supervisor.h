@@ -146,11 +146,24 @@ class SessionSupervisor {
   /// Blocks until the queue is empty and no session is running.
   void Drain();
 
+  /// Begins a graceful drain (SIGTERM semantics for the network daemon):
+  /// new Submits are rejected with Unavailable, queued sessions are left in
+  /// the queue — their durable manifests make them recoverable by the next
+  /// process — and every running session gets a graceful stop so it
+  /// checkpoints at the next round boundary. Workers exit once their
+  /// current session is terminal; call Shutdown() afterwards to join them.
+  /// Idempotent.
+  void BeginDrain();
+
   /// Stops accepting, drains, and joins all threads. Idempotent.
   void Shutdown();
 
   std::size_t running_sessions() const;
   std::size_t queued_sessions() const;
+  /// True while `id` is queued or running (not yet terminal).
+  bool IsActive(const std::string& id) const;
+  /// True once BeginDrain() was called.
+  bool draining() const;
 
   /// Reports of every terminal admission so far, in completion order.
   std::vector<SessionReport> Reports() const;
@@ -203,6 +216,9 @@ class SessionSupervisor {
   std::thread watchdog_;
   bool started_ = false;
   bool stopping_ = false;        // Workers: drain the queue, then exit.
+  bool draining_ = false;        // Workers: finish the running session and
+                                 // exit without dequeuing (queued manifests
+                                 // stay durable for recovery).
   bool watchdog_stop_ = false;   // Watchdog: exit now (set after workers).
 };
 

@@ -1,0 +1,367 @@
+// Tests of the wire layer beneath veritas_serve (net/frame.h, net/io.h,
+// net/protocol.h; DESIGN.md §5i): CRC-32C framing against single-bit
+// corruption and truncation, short-read/short-write and EINTR behavior of
+// the deadline-aware socket I/O, and protocol encode/decode round trips
+// including the value escaping the manifest codec shares. Lives in the
+// concurrency suite so the dribble-writer/reader pairs also run under TSan.
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/io.h"
+#include "net/protocol.h"
+#include "util/cancellation.h"
+
+namespace veritas {
+namespace net {
+namespace {
+
+// ---------- Frame encode/decode ----------
+
+TEST(FrameTest, RoundTrip) {
+  const std::string payload = "hello frame";
+  const std::string wire = EncodeFrame(FrameType::kRequest, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+  auto header = DecodeFrameHeader(
+      std::string_view(wire).substr(0, kFrameHeaderSize), kMaxFramePayload);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->type, FrameType::kRequest);
+  EXPECT_EQ(header->payload_size, payload.size());
+  EXPECT_TRUE(
+      VerifyFramePayload(*header, wire.substr(kFrameHeaderSize)).ok());
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrip) {
+  const std::string wire = EncodeFrame(FrameType::kResponse, "");
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  auto header = DecodeFrameHeader(wire, kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, FrameType::kResponse);
+  EXPECT_EQ(header->payload_size, 0u);
+  EXPECT_TRUE(VerifyFramePayload(*header, "").ok());
+}
+
+TEST(FrameTest, EveryHeaderBitFlipIsDetected) {
+  // A single flipped bit anywhere in the 20-byte header — magic, type,
+  // reserved, length, payload CRC or the header CRC itself — must come back
+  // as a typed corruption error, never as a garbage-length accept.
+  const std::string wire = EncodeFrame(FrameType::kRequest, "payload bytes");
+  for (std::size_t byte = 0; byte < kFrameHeaderSize; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = wire.substr(0, kFrameHeaderSize);
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto header = DecodeFrameHeader(mutated, kMaxFramePayload);
+      ASSERT_FALSE(header.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_TRUE(IsFrameCorrupt(header.status()))
+          << header.status().ToString();
+    }
+  }
+}
+
+TEST(FrameTest, PayloadBitFlipIsDetected) {
+  const std::string payload(1024, 'x');
+  const std::string wire = EncodeFrame(FrameType::kRequest, payload);
+  auto header = DecodeFrameHeader(
+      std::string_view(wire).substr(0, kFrameHeaderSize), kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  std::string corrupted = wire.substr(kFrameHeaderSize);
+  corrupted[512] ^= 0x01;
+  const Status status = VerifyFramePayload(*header, corrupted);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(IsFrameCorrupt(status));
+}
+
+TEST(FrameTest, OversizePayloadIsRejectedAtTheHeader) {
+  const std::string wire = EncodeFrame(FrameType::kRequest,
+                                       std::string(4096, 'y'));
+  auto header = DecodeFrameHeader(
+      std::string_view(wire).substr(0, kFrameHeaderSize), /*max_payload=*/512);
+  ASSERT_FALSE(header.ok());
+  EXPECT_TRUE(IsFrameCorrupt(header.status()));
+}
+
+// ---------- Socket I/O: short reads/writes, EINTR, truncation ----------
+
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    CloseFd(a);
+    CloseFd(b);
+  }
+  int a = -1;
+  int b = -1;
+};
+
+TEST(SocketIoTest, SendRecvRoundTrip) {
+  SocketPair pair;
+  const std::string payload = "request body";
+  ASSERT_TRUE(SendFrame(pair.a, FrameType::kRequest, payload,
+                        Deadline::AfterMillis(2000))
+                  .ok());
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(2000), kMaxFramePayload);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kRequest);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(SocketIoTest, DribbledWriteStillAssemblesOneFrame) {
+  // The peer writes the frame one byte at a time with pauses: every read on
+  // the receiving side is short, so RecvFrame's ReadFull loop must keep
+  // re-polling until the full header and payload arrive.
+  SocketPair pair;
+  const std::string wire = EncodeFrame(FrameType::kResponse, "dribbled");
+  std::thread writer([&] {
+    for (char c : wire) {
+      ASSERT_EQ(::send(pair.a, &c, 1, 0), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(5000), kMaxFramePayload);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, "dribbled");
+}
+
+TEST(SocketIoTest, LargeFrameSurvivesTinySocketBuffers) {
+  // A payload far above SO_SNDBUF forces WriteFull into many partial
+  // writes while the reader drains concurrently.
+  SocketPair pair;
+  const int small = 4096;
+  ::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(pair.b, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  std::string payload(1 << 20, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 2654435761u);
+  }
+  std::thread writer([&] {
+    ASSERT_TRUE(SendFrame(pair.a, FrameType::kRequest, payload,
+                          Deadline::AfterMillis(10'000))
+                    .ok());
+  });
+  auto frame =
+      RecvFrame(pair.b, Deadline::AfterMillis(10'000), kMaxFramePayload);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(SocketIoTest, PeerCloseMidFrameIsUnavailable) {
+  // Truncation: the peer dies after half the frame. The reader must get a
+  // typed Unavailable, not hang and not return a partial frame.
+  SocketPair pair;
+  const std::string wire = EncodeFrame(FrameType::kRequest,
+                                       std::string(256, 'z'));
+  ASSERT_EQ(::send(pair.a, wire.data(), wire.size() / 2, 0),
+            static_cast<ssize_t>(wire.size() / 2));
+  CloseFd(pair.a);
+  pair.a = -1;  // Destructor must not double-close.
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(2000), kMaxFramePayload);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable)
+      << frame.status().ToString();
+}
+
+TEST(SocketIoTest, SilentPeerIsDeadlineExceeded) {
+  SocketPair pair;
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(50), kMaxFramePayload);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketIoTest, WaitReadableLeavesTheStreamSynchronized) {
+  SocketPair pair;
+  EXPECT_EQ(WaitReadable(pair.b, Deadline::AfterMillis(30)).code(),
+            StatusCode::kDeadlineExceeded);
+  // Nothing was consumed: a frame sent now still parses.
+  ASSERT_TRUE(SendFrame(pair.a, FrameType::kRequest, "late",
+                        Deadline::AfterMillis(2000))
+                  .ok());
+  ASSERT_TRUE(WaitReadable(pair.b, Deadline::AfterMillis(2000)).ok());
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(2000), kMaxFramePayload);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->payload, "late");
+}
+
+TEST(SocketIoTest, CorruptBytesOnTheWireAreTyped) {
+  SocketPair pair;
+  std::string wire = EncodeFrame(FrameType::kRequest, "will be corrupted");
+  wire[kFrameHeaderSize + 3] ^= 0x10;  // Payload corruption.
+  ASSERT_EQ(::send(pair.a, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(2000), kMaxFramePayload);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(IsFrameCorrupt(frame.status())) << frame.status().ToString();
+}
+
+void IgnoreSignal(int) {}
+
+TEST(SocketIoTest, EintrDuringPollIsRetried) {
+  // Pepper the blocked reader with signals (handler installed without
+  // SA_RESTART, so poll really returns EINTR), then deliver the frame; the
+  // read loops must absorb every interruption.
+  struct sigaction action{};
+  struct sigaction saved{};
+  action.sa_handler = IgnoreSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // Deliberately no SA_RESTART.
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &saved), 0);
+
+  SocketPair pair;
+  const pthread_t self = pthread_self();
+  std::thread pest([&] {
+    for (int i = 0; i < 20; ++i) {
+      pthread_kill(self, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(SendFrame(pair.a, FrameType::kResponse, "survived",
+                          Deadline::AfterMillis(2000))
+                    .ok());
+  });
+  auto frame = RecvFrame(pair.b, Deadline::AfterMillis(5000), kMaxFramePayload);
+  pest.join();
+  sigaction(SIGUSR1, &saved, nullptr);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, "survived");
+}
+
+// ---------- Addresses ----------
+
+TEST(NetAddressTest, ParseRoundTrips) {
+  auto tcp = ParseNetAddress("127.0.0.1:8080");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_FALSE(tcp->unix_domain);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 8080);
+  EXPECT_EQ(tcp->ToString(), "127.0.0.1:8080");
+
+  auto unix_addr = ParseNetAddress("unix:/tmp/veritas.sock");
+  ASSERT_TRUE(unix_addr.ok());
+  EXPECT_TRUE(unix_addr->unix_domain);
+  EXPECT_EQ(unix_addr->path, "/tmp/veritas.sock");
+  EXPECT_EQ(unix_addr->ToString(), "unix:/tmp/veritas.sock");
+}
+
+TEST(NetAddressTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseNetAddress("").ok());
+  EXPECT_FALSE(ParseNetAddress("no-port").ok());
+  EXPECT_FALSE(ParseNetAddress("host:notaport").ok());
+  EXPECT_FALSE(ParseNetAddress("unix:").ok());
+}
+
+// ---------- Protocol messages ----------
+
+SessionSpec TrickySpec() {
+  SessionSpec spec;
+  spec.id = "s-tricky";
+  spec.strategy = "approx_meu";
+  spec.model = "accu";
+  spec.oracle = "perfect";
+  spec.max_validations = 7;
+  spec.batch_size = 3;
+  spec.seed = 99;
+  spec.deadline_ms = 1500;
+  spec.flaky_plan = "prob=0.5,kind=unavailable";
+  spec.retries = 2;
+  spec.stall_seconds = 0.25;
+  spec.use_delta_fusion = false;
+  spec.threads = 4;
+  return spec;
+}
+
+TEST(ProtocolTest, SubmitRequestRoundTrip) {
+  NetRequest request;
+  request.type = RequestType::kSubmit;
+  request.request_id = "s-tricky";
+  request.spec = TrickySpec();
+  auto decoded = DecodeNetRequest(EncodeNetRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, RequestType::kSubmit);
+  EXPECT_EQ(decoded->request_id, "s-tricky");
+  // The wire spec must reproduce the manifest codec byte-for-byte — this is
+  // what makes a recovered manifest equal to what the client submitted.
+  EXPECT_EQ(SerializeSessionSpecFields(decoded->spec),
+            SerializeSessionSpecFields(request.spec));
+}
+
+TEST(ProtocolTest, RequestValidation) {
+  NetRequest request;
+  request.type = RequestType::kReport;
+  request.request_id = "";  // Idempotency key is mandatory.
+  EXPECT_FALSE(DecodeNetRequest(EncodeNetRequest(request)).ok());
+
+  NetRequest mismatched;
+  mismatched.type = RequestType::kSubmit;
+  mismatched.request_id = "other";
+  mismatched.spec = TrickySpec();
+  EXPECT_FALSE(DecodeNetRequest(EncodeNetRequest(mismatched)).ok());
+
+  EXPECT_FALSE(DecodeNetRequest("not a protocol payload").ok());
+  EXPECT_FALSE(DecodeNetRequest("").ok());
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithEscaping) {
+  NetResponse response;
+  response.request_id = "req-1";
+  response.status =
+      Status::ResourceExhausted("queue full\nsecond line\twith -dashes");
+  response.fields["state"] = "done";
+  response.fields["weird"] = "-leading dash \\ backslash\r\n";
+  response.fields["empty"] = "";
+  response.body = std::string("binary\0body\nwith newlines", 25);
+  auto decoded = DecodeNetResponse(EncodeNetResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, "req-1");
+  EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->status.message(),
+            "queue full\nsecond line\twith -dashes");
+  EXPECT_EQ(decoded->fields, response.fields);
+  EXPECT_EQ(decoded->body, response.body);
+}
+
+TEST(ProtocolTest, StatusCodesRoundTripByName) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kUnavailable, StatusCode::kNotFound,
+        StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+        StatusCode::kIoError, StatusCode::kInvalidArgument}) {
+    auto parsed = ParseStatusCode(StatusCodeName(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(ParseStatusCode("NoSuchCode").ok());
+}
+
+TEST(ProtocolTest, UnknownSpecKeysAreSkipped) {
+  // Forward compatibility: a newer client's extra spec fields must not
+  // break an older daemon.
+  NetRequest request;
+  request.type = RequestType::kSubmit;
+  request.request_id = "s1";
+  request.spec.id = "s1";
+  std::string payload = EncodeNetRequest(request);
+  const std::string needle = "spec.strategy";
+  const auto pos = payload.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  payload.insert(payload.find('\n', pos) + 1, "spec.future_knob 17\n");
+  auto decoded = DecodeNetRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->spec.id, "s1");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace veritas

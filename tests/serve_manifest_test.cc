@@ -3,6 +3,7 @@
 // guesses), and the directory sweep lists exactly the surviving manifests.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -142,6 +143,45 @@ TEST(SessionManifestTest, ListsOnlyManifestsSorted) {
 TEST(SessionManifestTest, PathsAreDerivedFromIds) {
   EXPECT_EQ(SessionManifestPath("/tmp/d", "x"), "/tmp/d/x.session");
   EXPECT_EQ(SessionCheckpointPath("/tmp/d", "x"), "/tmp/d/x.ckpt");
+}
+
+TEST(SessionManifestTest, RemovesOnlyDeadWritersTempFiles) {
+  const std::string dir = TempPath("veritas_manifest_janitor_dir");
+  if (DIR* d = ::opendir(dir.c_str())) {  // Residue from a previous run.
+    while (struct dirent* entry = ::readdir(d)) {
+      ::unlink((dir + "/" + entry->d_name).c_str());
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
+  }
+  ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(dir + "/" + name) << "x";
+  };
+  // A pid far above any kernel pid_max: guaranteed-dead writer.
+  touch("s1.ckpt.tmp.2147483647.5");
+  // Our own pid: a writer that is, by construction, alive.
+  const std::string ours =
+      "s2.ckpt.tmp." + std::to_string(::getpid()) + ".9";
+  touch(ours);
+  // Names that do not parse as <final>.tmp.<pid>.<serial>: not ours.
+  touch("s3.ckpt.tmp.notapid.1");
+  touch("s4.ckpt.tmp.12");
+  // No ".tmp." at all: untouched.
+  touch("s5.session");
+
+  EXPECT_EQ(RemoveOrphanTempFiles(dir), 1u);
+  const auto exists = [&](const std::string& name) {
+    struct stat st;
+    return ::stat((dir + "/" + name).c_str(), &st) == 0;
+  };
+  EXPECT_FALSE(exists("s1.ckpt.tmp.2147483647.5"));
+  EXPECT_TRUE(exists(ours));
+  EXPECT_TRUE(exists("s3.ckpt.tmp.notapid.1"));
+  EXPECT_TRUE(exists("s4.ckpt.tmp.12"));
+  EXPECT_TRUE(exists("s5.session"));
+  // A second sweep finds nothing new.
+  EXPECT_EQ(RemoveOrphanTempFiles(dir), 0u);
 }
 
 }  // namespace

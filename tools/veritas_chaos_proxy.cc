@@ -1,0 +1,123 @@
+// veritas_chaos_proxy: stand-alone fault-injecting forwarder for drilling a
+// veritas_serve daemon over a genuinely hostile link (see net/chaos_proxy.h
+// and DESIGN.md §5i). CI's serve-net-smoke job points veritas_stress
+// --remote through this proxy and asserts the no-silent-loss partition.
+#include <signal.h>
+
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "net/chaos_proxy.h"
+#include "util/args.h"
+#include "util/fault_injection.h"
+
+namespace veritas {
+namespace {
+
+constexpr const char* kUsage = R"(veritas_chaos_proxy -- fault-injecting forwarder
+
+usage: veritas_chaos_proxy [run] --upstream ADDR [flags]
+
+  --listen ADDR       where clients connect (default 127.0.0.1:0; the bound
+                      address is printed and optionally written)
+  --addr-file PATH    write the bound address here (for scripts/CI)
+  --upstream ADDR     the real daemon (required)
+  --seed N            fault determinism seed (default 42)
+  --drop PLAN         FaultPlan for connection drops (e.g. prob=0.05)
+  --delay PLAN        FaultPlan for chunk delays (use latency=SECONDS)
+  --corrupt PLAN      FaultPlan for single-bit corruption
+  --truncate PLAN     FaultPlan for mid-frame truncation + close
+  --half-close PLAN   FaultPlan for one-direction shutdowns
+                      (plans default empty = fault never fires; give
+                      drop/corrupt/truncate/half-close plans a non-none
+                      kind, e.g. prob=0.1,kind=unavailable)
+  --chunk-bytes N     forwarding chunk size (default 4096)
+
+Runs until SIGTERM/SIGINT.
+)";
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void HandleStopSignal(int) { g_stop_signal = 1; }
+
+FaultPlan PlanFlag(const ArgMap& args, const std::string& key) {
+  const std::string spec = args.GetString(key);
+  if (spec.empty()) {
+    FaultPlan never;  // All triggers zero: the site never fires.
+    never.kind = FaultKind::kNone;
+    return never;
+  }
+  auto plan = ParseFaultPlan(spec);
+  if (!plan.ok()) {
+    std::cerr << "veritas_chaos_proxy: --" << key << ": "
+              << plan.status().ToString() << "\n";
+    std::exit(2);
+  }
+  return *plan;
+}
+
+int Run(int argc, const char* const* argv) {
+  auto args_or = ArgMap::Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::cerr << "veritas_chaos_proxy: " << args_or.status().ToString()
+              << "\n";
+    return 2;
+  }
+  const ArgMap& args = *args_or;
+  if (args.command() == "help" || args.GetBool("help") ||
+      !args.Has("upstream")) {
+    std::cout << kUsage;
+    return args.Has("upstream") || args.GetBool("help") ? 0 : 2;
+  }
+
+  net::ChaosProxyOptions options;
+  auto listen = net::ParseNetAddress(args.GetString("listen", "127.0.0.1:0"));
+  auto upstream = net::ParseNetAddress(args.GetString("upstream"));
+  if (!listen.ok() || !upstream.ok()) {
+    const Status& bad = !listen.ok() ? listen.status() : upstream.status();
+    std::cerr << "veritas_chaos_proxy: " << bad.ToString() << "\n";
+    return 2;
+  }
+  options.listen = *listen;
+  options.upstream = *upstream;
+  auto seed = args.GetInt("seed", 42);
+  options.seed = static_cast<std::uint64_t>(seed.ok() ? *seed : 42);
+  options.drop = PlanFlag(args, "drop");
+  options.delay = PlanFlag(args, "delay");
+  options.corrupt = PlanFlag(args, "corrupt");
+  options.truncate = PlanFlag(args, "truncate");
+  options.half_close = PlanFlag(args, "half-close");
+  auto chunk = args.GetInt("chunk-bytes", 4096);
+  options.chunk_bytes = static_cast<std::size_t>(chunk.ok() ? *chunk : 4096);
+
+  net::ChaosProxy proxy(options);
+  if (Status s = proxy.Start(); !s.ok()) {
+    std::cerr << "veritas_chaos_proxy: " << s.ToString() << "\n";
+    return 1;
+  }
+  const std::string bound = proxy.bound_address().ToString();
+  std::cout << "proxying " << bound << " -> " << options.upstream.ToString()
+            << std::endl;
+  const std::string addr_file = args.GetString("addr-file");
+  if (!addr_file.empty()) {
+    std::ofstream out(addr_file);
+    out << bound << "\n";
+  }
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  while (g_stop_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  proxy.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::Run(argc, argv); }

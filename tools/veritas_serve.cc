@@ -1,0 +1,197 @@
+// veritas_serve: long-lived network daemon wrapping the SessionSupervisor
+// (DESIGN.md §5i; README "Serving over the network"). Clients submit
+// SessionSpecs over the CRC-framed protocol (net/frame, net/protocol),
+// poll reports, scrape metrics and request a drain; the supervisor beneath
+// provides admission shedding, budgets, the watchdog and durable
+// manifest/checkpoint recovery exactly as in-process callers get.
+//
+// Lifecycle:
+//   * SIGTERM / SIGINT / a kDrain request begin a graceful drain — stop
+//     admitting, let running sessions checkpoint, answer report polls for a
+//     short linger, exit 0. Queued sessions stay behind as durable
+//     manifests; the next invocation with --recover resumes them.
+//   * SIGKILL needs no cooperation at all: every admitted session's
+//     manifest + checkpoint chain is already on disk, so a restarted daemon
+//     with --recover sweeps them back in (CI's serve-net-smoke job drills
+//     exactly this).
+#include <signal.h>
+
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "data/synthetic.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/session_supervisor.h"
+#include "util/args.h"
+
+namespace veritas {
+namespace {
+
+constexpr const char* kUsage = R"(veritas_serve -- network fusion daemon
+
+usage: veritas_serve [run] [flags]
+
+network
+  --listen ADDR           host:port or unix:<path> (default 127.0.0.1:0 =
+                          ephemeral; the bound address is printed and
+                          optionally written to --addr-file)
+  --addr-file PATH        write the bound address here (for scripts/CI)
+  --max-connections N     concurrent connections before typed shedding
+                          (default 32)
+  --request-timeout-ms N  per-request read/write budget (default 10000)
+
+snapshot (shared by every session)
+  --items N --sources N   synthetic snapshot size (default 60 x 10)
+  --data-seed N           snapshot seed (default 42)
+
+supervision (see veritas_stress for semantics)
+  --dir PATH              sessions directory (default serve_sessions)
+  --workers N             concurrent sessions (default 4)
+  --queue-depth N         waiting admissions before shedding (default 16)
+  --deadline-ms N         default session deadline (default 0 = none)
+  --watchdog-poll-ms N    watchdog scan period (default 5)
+  --watchdog-grace-ms N   grace before graceful stop (default 25)
+  --watchdog-hard-ms N    grace before hard stop (default 50)
+  --max-recovery N        recovery attempts per session (default 3)
+  --max-total-threads N   host-wide lookahead-thread budget (default 0)
+
+lifecycle
+  --recover               recovery-sweep the sessions dir at startup
+  --recover-every-ms N    re-sweep periodically (0 = off); picks up
+                          sessions evicted mid-serve without a restart
+  --drain-linger-ms N     after a drain, keep answering report polls this
+                          long before exiting (default 500)
+)";
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void HandleStopSignal(int) { g_stop_signal = 1; }
+
+long IntFlag(const ArgMap& args, const std::string& key, long fallback) {
+  auto v = args.GetInt(key, fallback);
+  if (!v.ok()) {
+    std::cerr << "veritas_serve: " << v.status().ToString() << "\n";
+    std::exit(2);
+  }
+  return *v;
+}
+
+int Run(int argc, const char* const* argv) {
+  auto args_or = ArgMap::Parse(argc, argv);
+  if (!args_or.ok()) {
+    std::cerr << "veritas_serve: " << args_or.status().ToString() << "\n";
+    return 2;
+  }
+  const ArgMap& args = *args_or;
+  if (args.command() == "help" || args.GetBool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  auto address = net::ParseNetAddress(args.GetString("listen", "127.0.0.1:0"));
+  if (!address.ok()) {
+    std::cerr << "veritas_serve: --listen: " << address.status().ToString()
+              << "\n";
+    return 2;
+  }
+
+  DenseConfig data_config;
+  data_config.num_items =
+      static_cast<std::size_t>(IntFlag(args, "items", 60));
+  data_config.num_sources =
+      static_cast<std::size_t>(IntFlag(args, "sources", 10));
+  data_config.seed = static_cast<std::uint64_t>(IntFlag(args, "data-seed", 42));
+  const SyntheticDataset dataset = GenerateDense(data_config);
+
+  SupervisorOptions supervisor_options;
+  supervisor_options.max_concurrent_sessions =
+      static_cast<std::size_t>(IntFlag(args, "workers", 4));
+  supervisor_options.max_queue_depth =
+      static_cast<std::size_t>(IntFlag(args, "queue-depth", 16));
+  supervisor_options.sessions_dir = args.GetString("dir", "serve_sessions");
+  supervisor_options.default_deadline_ms = IntFlag(args, "deadline-ms", 0);
+  supervisor_options.watchdog_poll =
+      std::chrono::milliseconds(IntFlag(args, "watchdog-poll-ms", 5));
+  supervisor_options.watchdog_grace =
+      std::chrono::milliseconds(IntFlag(args, "watchdog-grace-ms", 25));
+  supervisor_options.watchdog_hard_grace =
+      std::chrono::milliseconds(IntFlag(args, "watchdog-hard-ms", 50));
+  supervisor_options.max_recovery_attempts =
+      static_cast<std::size_t>(IntFlag(args, "max-recovery", 3));
+  supervisor_options.max_total_threads =
+      static_cast<std::size_t>(IntFlag(args, "max-total-threads", 0));
+
+  SessionSupervisor supervisor(dataset.db, dataset.truth, supervisor_options);
+  if (Status s = supervisor.Start(); !s.ok()) {
+    std::cerr << "veritas_serve: " << s.ToString() << "\n";
+    return 1;
+  }
+  if (args.GetBool("recover")) {
+    const std::size_t recovered = supervisor.RecoverSessions();
+    std::cout << "recovery sweep: re-admitted " << recovered << " session(s)"
+              << std::endl;
+  }
+
+  net::NetServerOptions server_options;
+  server_options.address = *address;
+  server_options.max_connections =
+      static_cast<std::size_t>(IntFlag(args, "max-connections", 32));
+  server_options.request_timeout_ms = IntFlag(args, "request-timeout-ms",
+                                              10'000);
+  net::NetServer server(&supervisor, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << "veritas_serve: " << s.ToString() << "\n";
+    return 1;
+  }
+  const std::string bound = server.bound_address().ToString();
+  std::cout << "listening on " << bound << std::endl;
+  const std::string addr_file = args.GetString("addr-file");
+  if (!addr_file.empty()) {
+    std::ofstream out(addr_file);
+    out << bound << "\n";
+  }
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  const long recover_every_ms = IntFlag(args, "recover-every-ms", 0);
+  const long drain_linger_ms = IntFlag(args, "drain-linger-ms", 500);
+  auto last_sweep = std::chrono::steady_clock::now();
+  while (g_stop_signal == 0 && !server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (recover_every_ms > 0 &&
+        std::chrono::steady_clock::now() - last_sweep >=
+            std::chrono::milliseconds(recover_every_ms)) {
+      // Periodic sweep: evicted sessions resume without a daemon restart.
+      supervisor.RecoverSessions();
+      last_sweep = std::chrono::steady_clock::now();
+    }
+  }
+
+  std::cout << "draining" << std::endl;
+  server.RequestDrain();
+  // Running sessions observe the graceful stop at their next round boundary
+  // and checkpoint; queued ones stay durable for the next --recover.
+  while (supervisor.running_sessions() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Linger so clients polling reports see their terminal state instead of a
+  // dead socket (they would recover via re-submit anyway, but this is
+  // cheaper for everyone).
+  std::this_thread::sleep_for(std::chrono::milliseconds(drain_linger_ms));
+  server.Stop();
+  supervisor.Shutdown();
+  std::cout << "drained; " << supervisor.queued_sessions()
+            << " session(s) left queued as durable manifests" << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace veritas
+
+int main(int argc, char** argv) { return veritas::Run(argc, argv); }
